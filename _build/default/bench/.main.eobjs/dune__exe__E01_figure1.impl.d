@@ -1,0 +1,1 @@
+bench/e01_figure1.ml: Bytes Ether Printf Token Util Viper Wire

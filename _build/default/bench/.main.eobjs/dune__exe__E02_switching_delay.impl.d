@@ -1,0 +1,1 @@
+bench/e02_switching_delay.ml: List Printf Sirpent Util

@@ -1,0 +1,1 @@
+bench/e03_md1_queue.ml: Bytes List Netsim Printf Queueing Sim Sirpent Topo Util Workload

@@ -1,0 +1,1 @@
+bench/e04_header_overhead.ml: Ether Printf Sim Util Viper Wire Workload

@@ -1,0 +1,1 @@
+bench/e05_overhead_sweep.ml: E04_header_overhead List Printf Util Viper Workload

@@ -1,0 +1,1 @@
+bench/e06_congestion.ml: Array Bytes List Netsim Printf Sim Sirpent Topo Util

@@ -1,0 +1,1 @@
+bench/e07_failover.ml: Bytes Dirsvc Ipbase List Netsim Printf Sim Sirpent Topo Util Vmtp

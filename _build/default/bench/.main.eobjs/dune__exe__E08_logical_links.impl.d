@@ -1,0 +1,1 @@
+bench/e08_logical_links.ml: Bytes List Netsim Printf Sim Sirpent String Topo Util Viper

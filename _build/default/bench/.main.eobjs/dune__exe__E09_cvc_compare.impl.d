@@ -1,0 +1,1 @@
+bench/e09_cvc_compare.ml: Array Bytes Cvc Ipbase Netsim Printf Sim Sirpent Topo Util

@@ -1,0 +1,1 @@
+bench/e10_tokens.ml: Array Bytes List Option Printf Sim Sirpent Token Topo Util

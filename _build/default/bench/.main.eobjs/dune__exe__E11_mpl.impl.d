@@ -1,0 +1,1 @@
+bench/e11_mpl.ml: Ipbase List Printf Util Vmtp

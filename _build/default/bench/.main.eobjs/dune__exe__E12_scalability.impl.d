@@ -1,0 +1,1 @@
+bench/e12_scalability.ml: Array Int64 Ipbase List Netsim Option Printf Sim Sirpent Topo Util

@@ -1,0 +1,1 @@
+bench/e13_preemption.ml: Bytes Hashtbl List Netsim Printf Sim Sirpent Topo Util Viper

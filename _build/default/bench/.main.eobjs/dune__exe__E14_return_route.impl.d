@@ -1,0 +1,1 @@
+bench/e14_return_route.ml: Bytes Ether List Printf Sim Sirpent String Topo Util Viper Wire

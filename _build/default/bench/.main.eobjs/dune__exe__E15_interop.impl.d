@@ -1,0 +1,1 @@
+bench/e15_interop.ml: Array Bytes Interop Ipbase List Netsim Printf Sim Sirpent Topo Util Viper

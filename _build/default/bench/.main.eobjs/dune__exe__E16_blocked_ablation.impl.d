@@ -1,0 +1,1 @@
+bench/e16_blocked_ablation.ml: Array Bytes Int32 List Netsim Printf Sim Sirpent Topo Util Viper Wire

@@ -1,0 +1,1 @@
+bench/e17_directory_cache.ml: Array Dirsvc List Printf Sim Topo Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Ether Hashtbl Instance Ipbase List Measure Printf Staged Test Time Token Toolkit Util Viper Wire

@@ -1,0 +1,1 @@
+bench/util.ml: Array Bytes Ipbase List Netsim Option Printf Sim Sirpent String Topo

@@ -1,0 +1,45 @@
+(* E5 — §6.2 sensitivity: header overhead as the locality assumption and
+   the maximum packet size vary, against the IP baseline's fixed 20-byte
+   header. Shows where source routing's multiplicative header cost would
+   ever exceed the datagram header. *)
+
+module Seg = Viper.Segment
+
+let pf = Printf.printf
+
+let per_hop_header = E04_header_overhead.per_hop_header
+
+let overhead ~mean_hops ~max_size =
+  let mixture = { Workload.Sizes.min_size = 64; max_size } in
+  let mean_size = Workload.Sizes.analytic_mean mixture in
+  let h = mean_hops *. float_of_int per_hop_header in
+  h /. (h +. mean_size)
+
+let ip_overhead ~max_size =
+  let mixture = { Workload.Sizes.min_size = 64; max_size } in
+  let mean_size = Workload.Sizes.analytic_mean mixture in
+  20.0 /. (20.0 +. mean_size)
+
+let run () =
+  Util.heading "E5  \xc2\xa76.2 overhead sensitivity: hops x max packet size";
+  pf "VIPER header %d B per hop vs the 20 B IP header every packet carries.\n\n" per_hop_header;
+  let hop_means = [ 0.2; 0.5; 1.0; 2.0; 5.0 ] in
+  let sizes = [ 576; 1500; 2048; 4096 ] in
+  let header =
+    "mean hops" :: List.map (fun s -> Printf.sprintf "max %d B" s) sizes
+  in
+  let rows =
+    List.map
+      (fun mh ->
+        Util.f1 mh
+        :: List.map (fun s -> Util.pct (overhead ~mean_hops:mh ~max_size:s)) sizes)
+      hop_means
+  in
+  Util.table ~header rows;
+  pf "\nIP baseline (every packet, any hops):\n";
+  Util.table
+    ~header:("" :: List.map (fun s -> Printf.sprintf "max %d B" s) sizes)
+    [ "IP 20 B" :: List.map (fun s -> Util.pct (ip_overhead ~max_size:s)) sizes ];
+  pf "\npaper check: VIPER's variable header beats IP's fixed header whenever the\n";
+  pf "mean hop count is below ~1.1 (20/18) and stays low for locality-dominated\n";
+  pf "traffic; even at 5 hops on 576-byte networks it stays below ~25%%.\n"

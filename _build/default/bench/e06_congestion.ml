@@ -1,0 +1,75 @@
+(* E6 — §2.2/§6.3 rate-based congestion control: offered load sweep over a
+   2 Mb/s trunk with and without hop-by-hop backpressure. Reports loss,
+   goodput, trunk utilization and mean queue — the stability the paper's
+   feedback scheme is meant to buy without circuits. *)
+
+module G = Topo.Graph
+module W = Netsim.World
+
+let pf = Printf.printf
+
+let trunk_bps = 2_000_000
+let packet_bytes = 1000
+
+let run_once ~offered_ratio ~with_control =
+  let g = G.create () in
+  let sources = Array.init 3 (fun _ -> G.add_node g G.Host) in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  let sink = G.add_node g G.Host in
+  Array.iter (fun s -> ignore (G.connect g s r1 G.default_props)) sources;
+  let trunk_port = fst (G.connect g r1 r2 { G.default_props with G.bandwidth_bps = trunk_bps }) in
+  ignore (G.connect g r2 sink G.default_props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  W.set_buffer_bytes world ~node:r1 ~port:trunk_port (24 * 1024);
+  let congestion = if with_control then Some Sirpent.Congestion.default_config else None in
+  let config = { Sirpent.Router.default_config with Sirpent.Router.congestion } in
+  ignore (Sirpent.Router.create ~config world ~node:r1 ());
+  ignore (Sirpent.Router.create ~config world ~node:r2 ());
+  let h_sink = Sirpent.Host.create world ~node:sink in
+  Sirpent.Host.set_receive h_sink (fun _ ~packet:_ ~in_port:_ -> ());
+  let horizon = Sim.Time.s 4 in
+  let per_source_bps = float_of_int trunk_bps *. offered_ratio /. 3.0 in
+  let gap = Sim.Time.of_seconds (float_of_int (8 * packet_bytes) /. per_source_bps) in
+  Array.iter
+    (fun s ->
+      let h = Sirpent.Host.create world ~node:s in
+      let route = Util.route_of g ~src:s ~dst:sink in
+      let rec blast t =
+        if t < horizon then
+          ignore
+            (Sim.Engine.schedule_at engine ~time:t (fun () ->
+                 ignore (Sirpent.Host.send h ~route ~data:(Bytes.make packet_bytes 'c') ());
+                 blast (t + gap)))
+      in
+      blast (Sim.Time.ms 1))
+    sources;
+  Sim.Engine.run ~until:horizon engine;
+  let st = W.port_stats world ~node:r1 ~port:trunk_port in
+  let util = W.utilization world ~node:r1 ~port:trunk_port in
+  (st.W.dropped_overflow, Sirpent.Host.received h_sink, util, st.W.mean_queue)
+
+let run () =
+  Util.heading "E6  \xc2\xa72.2 rate-based congestion control under overload";
+  pf "3 sources -> 2 Mb/s trunk, 24 KB output buffer, 4 s simulated.\n\n";
+  let rows =
+    List.concat_map
+      (fun ratio ->
+        let d0, g0, u0, q0 = run_once ~offered_ratio:ratio ~with_control:false in
+        let d1, g1, u1, q1 = run_once ~offered_ratio:ratio ~with_control:true in
+        [
+          [
+            Util.f1 ratio; "off"; Util.i d0; Util.i g0; Util.pct u0; Util.f1 q0;
+          ];
+          [
+            Util.f1 ratio; "on"; Util.i d1; Util.i g1; Util.pct u1; Util.f1 q1;
+          ];
+        ])
+      [ 0.8; 1.2; 2.0; 3.0 ]
+  in
+  Util.table
+    ~header:[ "offered/capacity"; "control"; "drops"; "delivered"; "trunk util"; "mean Q" ]
+    rows;
+  pf "\npaper check: below capacity the two behave alike; past capacity the\n";
+  pf "uncontrolled trunk overflows its buffer while backpressure holds packets\n";
+  pf "at the sources, eliminating loss at equal-or-better delivered volume.\n"

@@ -1,0 +1,52 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for
+   paper-vs-measured).
+
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe e2 e7      # a subset
+     dune exec bench/main.exe -- --micro # bechamel micro-benchmarks only
+     dune exec bench/main.exe -- --list  # experiment ids *)
+
+let experiments =
+  [
+    ("e1", "Figure 1: VIPER header segment wire format", E01_figure1.run);
+    ("e2", "\xc2\xa76.1 switching delay: cut-through vs S&F vs IP", E02_switching_delay.run);
+    ("e3", "\xc2\xa76.1 M/D/1 output-queue validation", E03_md1_queue.run);
+    ("e4", "\xc2\xa76.2 header overhead (paper worked example)", E04_header_overhead.run);
+    ("e5", "\xc2\xa76.2 overhead sensitivity sweep", E05_overhead_sweep.run);
+    ("e6", "\xc2\xa72.2 rate-based congestion control", E06_congestion.run);
+    ("e7", "\xc2\xa76.3 link-failure response", E07_failover.run);
+    ("e8", "\xc2\xa72.2 logical links / replicated trunks", E08_logical_links.run);
+    ("e9", "\xc2\xa71 CVC vs datagram comparison", E09_cvc_compare.run);
+    ("e10", "\xc2\xa72.2 token cache and accounting", E10_tokens.run);
+    ("e11", "\xc2\xa74.2 packet lifetime: timestamp vs TTL", E11_mpl.run);
+    ("e12", "\xc2\xa72.3 scalability of router state", E12_scalability.run);
+    ("e13", "\xc2\xa75 priority and preemption", E13_preemption.run);
+    ("e14", "\xc2\xa72 return-route construction", E14_return_route.run);
+    ("e15", "\xc2\xa72.3 Sirpent over IP interoperation", E15_interop.run);
+    ("e16", "ablation: blocked-packet handling", E16_blocked_ablation.run);
+    ("e17", "ablation: directory-client caching", E17_directory_cache.run);
+  ]
+
+let list_experiments () =
+  Printf.printf "experiments:\n";
+  List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) experiments;
+  Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks"
+
+let run_one id =
+  match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+  | Some (_, _, f) -> f ()
+  | None ->
+    Printf.eprintf "unknown experiment %S\n" id;
+    list_experiments ();
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    List.iter (fun (_, _, f) -> f ()) experiments;
+    Micro.run ()
+  | [ "--list" ] -> list_experiments ()
+  | [ "--micro" ] -> Micro.run ()
+  | ids -> List.iter run_one ids

@@ -1,0 +1,92 @@
+(* Shared helpers for the experiment harness: table rendering and common
+   world-building. *)
+
+module G = Topo.Graph
+module W = Netsim.World
+
+let pf = Printf.printf
+
+let heading title =
+  pf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheading title = pf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+(* Render a table: columns right-aligned to the widest cell. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%*s" (List.nth widths i) cell) row)
+  in
+  pf "%s\n" (render header);
+  pf "%s\n" (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> pf "%s\n" (render row)) rows
+
+let ms t = Printf.sprintf "%.3f" (Sim.Time.to_ms t)
+let us t = Printf.sprintf "%.1f" (Sim.Time.to_us t)
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let i = string_of_int
+
+(* host - r1 - ... - rn - host chain with Sirpent routers *)
+let sirpent_chain ?(props = G.default_props) ?config n_routers =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host in
+  let routers = Array.init n_routers (fun _ -> G.add_node g G.Router) in
+  let h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 routers.(0) props);
+  for k = 0 to n_routers - 2 do
+    ignore (G.connect g routers.(k) routers.(k + 1) props)
+  done;
+  ignore (G.connect g routers.(n_routers - 1) h2 props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let robjs = Array.map (fun r -> Sirpent.Router.create ?config world ~node:r ()) routers in
+  let host1 = Sirpent.Host.create world ~node:h1 in
+  let host2 = Sirpent.Host.create world ~node:h2 in
+  (g, engine, world, host1, host2, robjs)
+
+let hop_metric (_ : G.link) = 1.0
+
+let route_of g ~src ~dst =
+  Sirpent.Route.of_hops g ~src
+    (Option.get (G.shortest_path g ~metric:hop_metric ~src ~dst))
+
+(* one-way delay of a single packet of [bytes] over an n-router chain *)
+let one_way_sirpent ?config ~n_routers ~bytes () =
+  let g, engine, _w, h1, h2, _ = sirpent_chain ?config n_routers in
+  let arrival = ref 0 in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> arrival := Sim.Engine.now engine);
+  let route = route_of g ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2) in
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make bytes 'x') ());
+  Sim.Engine.run engine;
+  !arrival
+
+let one_way_ip ?(process_time = Sim.Time.us 100) ~n_routers ~bytes () =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host in
+  let routers = Array.init n_routers (fun _ -> G.add_node g G.Router) in
+  let h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 routers.(0) G.default_props);
+  for k = 0 to n_routers - 2 do
+    ignore (G.connect g routers.(k) routers.(k + 1) G.default_props)
+  done;
+  ignore (G.connect g routers.(n_routers - 1) h2 G.default_props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let config = { Ipbase.Router.default_config with Ipbase.Router.process_time } in
+  Array.iter (fun r -> ignore (Ipbase.Router.create ~config world ~node:r ())) routers;
+  let i1 = Ipbase.Host.create world ~node:h1 () in
+  let i2 = Ipbase.Host.create world ~node:h2 () in
+  let arrival = ref 0 in
+  Ipbase.Host.set_receive i2 (fun _ ~header:_ ~data:_ -> arrival := Sim.Engine.now engine);
+  ignore (Ipbase.Host.send i1 ~dst:h2 ~data:(Bytes.make bytes 'x') ());
+  Sim.Engine.run engine;
+  !arrival

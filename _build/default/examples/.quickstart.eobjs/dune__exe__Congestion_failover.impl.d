@@ -1,0 +1,1 @@
+examples/congestion_failover.ml: Array Bytes Dirsvc Format List Netsim Option Printf Sim Sirpent Topo Vmtp

@@ -1,0 +1,1 @@
+examples/congestion_failover.mli:

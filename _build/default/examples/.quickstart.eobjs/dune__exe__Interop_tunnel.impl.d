@@ -1,0 +1,1 @@
+examples/interop_tunnel.ml: Array Bytes Format Interop Ipbase List Netsim Printf Sim Sirpent Topo Viper

@@ -1,0 +1,1 @@
+examples/policy_routing.ml: Bytes Dirsvc Format List Netsim Option Printf Sim Sirpent String Token Topo

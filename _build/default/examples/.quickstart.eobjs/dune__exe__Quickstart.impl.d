@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Dirsvc Format List Netsim Printf Sim Sirpent Topo Vmtp

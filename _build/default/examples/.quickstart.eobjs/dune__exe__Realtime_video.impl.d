@@ -1,0 +1,1 @@
+examples/realtime_video.ml: Bytes List Netsim Option Printf Sim Sirpent Topo Viper Vmtp Wire

@@ -1,0 +1,1 @@
+lib/core/congestion.ml: Bytes Float Hashtbl List Netsim Option Queue Sim Token Topo

@@ -1,0 +1,1 @@
+lib/core/host.ml: Bytes Congestion List Netsim Route Sim Token Topo Viper

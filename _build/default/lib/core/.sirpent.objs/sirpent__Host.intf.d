@@ -1,0 +1,1 @@
+lib/core/host.mli: Netsim Route Sim Token Topo Viper

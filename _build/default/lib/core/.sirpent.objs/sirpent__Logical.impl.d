@@ -1,0 +1,1 @@
+lib/core/logical.ml: Hashtbl Topo Viper

@@ -1,0 +1,1 @@
+lib/core/route.ml: Bytes Format List Token Topo Viper

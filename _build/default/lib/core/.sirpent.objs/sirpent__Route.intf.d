@@ -1,0 +1,1 @@
+lib/core/route.mli: Format Token Topo Viper

@@ -1,0 +1,1 @@
+lib/core/router.ml: Bytes Congestion Ether Hashtbl List Logical Netsim Option Sim Token Topo Viper Wire

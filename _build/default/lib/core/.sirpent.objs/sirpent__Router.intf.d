@@ -1,0 +1,1 @@
+lib/core/router.mli: Congestion Logical Netsim Sim Token Topo Viper

@@ -1,0 +1,251 @@
+module G = Topo.Graph
+module W = Netsim.World
+
+type config = {
+  check_interval : Sim.Time.t;
+  queue_threshold : int;
+  feeder_share : float;
+  limiter_expiry : Sim.Time.t;
+  ramp_factor : float;
+  min_rate_bps : float;
+  ctl_frame_bytes : int;
+}
+
+let default_config =
+  {
+    check_interval = Sim.Time.ms 5;
+    queue_threshold = 8;
+    feeder_share = 0.9;
+    limiter_expiry = Sim.Time.ms 100;
+    ramp_factor = 1.25;
+    min_rate_bps = 64_000.0;
+    ctl_frame_bytes = 16;
+  }
+
+type Netsim.Frame.meta +=
+  | Rate_ctl of { congested_port : int; rate_bps : float }
+
+type limiter = {
+  mutable rate_bps : float;
+  mutable bucket_bits : float;
+  mutable last_refill : Sim.Time.t;
+  mutable last_signal : Sim.Time.t;
+  pending : (int * (unit -> unit)) Queue.t;  (* (bytes, send) *)
+  mutable drain_event : Sim.Engine.handle option;
+}
+
+type t = {
+  world : W.t;
+  node : G.node_id;
+  config : config;
+  limiters : (int * int, limiter) Hashtbl.t;  (* (out_port, next_port) *)
+  window : (int * int, int) Hashtbl.t;  (* (out_port, in_port) -> packets *)
+  known_out_ports : (int, unit) Hashtbl.t;
+  mutable started : bool;
+  mutable tick_armed : bool;
+  mutable ctl_sent : int;
+  mutable ctl_received : int;
+}
+
+let create world ~node config =
+  {
+    world;
+    node;
+    config;
+    limiters = Hashtbl.create 8;
+    window = Hashtbl.create 16;
+    known_out_ports = Hashtbl.create 8;
+    started = false;
+    tick_armed = false;
+    ctl_sent = 0;
+    ctl_received = 0;
+  }
+
+(* --- token-bucket limiters --- *)
+
+let burst_bits lim = Float.max 24_000.0 (lim.rate_bps *. 0.005)
+
+let refill t lim =
+  let now = W.now t.world in
+  let dt = Sim.Time.to_seconds (now - lim.last_refill) in
+  lim.bucket_bits <- Float.min (burst_bits lim) (lim.bucket_bits +. (lim.rate_bps *. dt));
+  lim.last_refill <- now
+
+let rec drain t lim =
+  refill t lim;
+  match Queue.peek_opt lim.pending with
+  | None -> ()
+  | Some (bytes, send) ->
+    let bits = float_of_int (8 * bytes) in
+    if lim.bucket_bits >= bits then begin
+      ignore (Queue.pop lim.pending);
+      lim.bucket_bits <- lim.bucket_bits -. bits;
+      send ();
+      drain t lim
+    end
+    else if lim.drain_event = None then begin
+      let wait_s = (bits -. lim.bucket_bits) /. Float.max 1.0 lim.rate_bps in
+      lim.drain_event <-
+        Some
+          (Sim.Engine.schedule (W.engine t.world)
+             ~delay:(max 1 (Sim.Time.of_seconds wait_s))
+             (fun () ->
+               lim.drain_event <- None;
+               drain t lim))
+    end
+
+(* The rate may have been ramped up since a drain was scheduled from the
+   old, lower rate: re-evaluate the wait. *)
+let reschedule_drain t lim =
+  (match lim.drain_event with
+  | Some h ->
+    Sim.Engine.cancel (W.engine t.world) h;
+    lim.drain_event <- None
+  | None -> ());
+  drain t lim
+
+let submit t ~out_port ~next_port ~bytes ~send =
+  let key =
+    match next_port with Some n -> Some (out_port, n) | None -> None
+  in
+  match Option.bind key (Hashtbl.find_opt t.limiters) with
+  | None -> send ()
+  | Some lim ->
+    refill t lim;
+    let bits = float_of_int (8 * bytes) in
+    if Queue.is_empty lim.pending && lim.bucket_bits >= bits then begin
+      lim.bucket_bits <- lim.bucket_bits -. bits;
+      send ()
+    end
+    else begin
+      Queue.push (bytes, send) lim.pending;
+      drain t lim
+    end
+
+(* --- the periodic monitor --- *)
+
+let limiter_backlog_for t out_port =
+  Hashtbl.fold
+    (fun (p, _) lim acc -> if p = out_port then acc + Queue.length lim.pending else acc)
+    t.limiters 0
+
+let capacity_bps t port =
+  match G.link_via (W.graph t.world) t.node port with
+  | Some l -> float_of_int l.G.props.G.bandwidth_bps
+  | None -> 0.0
+
+let signal_feeders t out_port =
+  let feeders =
+    Hashtbl.fold
+      (fun (op, in_port) n acc -> if op = out_port && n > 0 then in_port :: acc else acc)
+      t.window []
+    |> List.sort_uniq compare
+  in
+  match feeders with
+  | [] -> ()
+  | _ ->
+    let n = List.length feeders in
+    let rate =
+      Float.max t.config.min_rate_bps
+        (capacity_bps t out_port *. t.config.feeder_share /. float_of_int n)
+    in
+    List.iter
+      (fun in_port ->
+        let frame =
+          W.fresh_frame t.world ~priority:Token.Priority.highest
+            ~meta:(Rate_ctl { congested_port = out_port; rate_bps = rate })
+            (Bytes.create t.config.ctl_frame_bytes)
+        in
+        t.ctl_sent <- t.ctl_sent + 1;
+        ignore (W.send t.world ~node:t.node ~port:in_port frame))
+      feeders
+
+let ramp_and_expire t =
+  let now = W.now t.world in
+  let stale =
+    Hashtbl.fold
+      (fun key lim acc ->
+        if
+          now - lim.last_signal > t.config.limiter_expiry
+          && Queue.is_empty lim.pending
+        then key :: acc
+        else begin
+          if now - lim.last_signal > t.config.check_interval then begin
+            lim.rate_bps <- lim.rate_bps *. t.config.ramp_factor;
+            if not (Queue.is_empty lim.pending) then reschedule_drain t lim
+          end;
+          acc
+        end)
+      t.limiters []
+  in
+  List.iter (Hashtbl.remove t.limiters) stale
+
+let monitor t =
+  ramp_and_expire t;
+  Hashtbl.iter
+    (fun out_port () ->
+      let depth =
+        W.queue_length t.world ~node:t.node ~port:out_port
+        + limiter_backlog_for t out_port
+      in
+      if depth > t.config.queue_threshold then signal_feeders t out_port)
+    t.known_out_ports;
+  Hashtbl.reset t.window
+
+(* The monitor goes quiescent when there is nothing to watch, so idle hosts
+   and routers do not keep the event queue alive forever; any new arrival or
+   control message re-arms it. The window of recent feeders empties each
+   interval, so [known_out_ports] is cleared once a port has been idle for a
+   full interval. *)
+let rec ensure_tick t =
+  if t.started && not t.tick_armed then begin
+    t.tick_armed <- true;
+    ignore
+      (Sim.Engine.schedule (W.engine t.world) ~delay:t.config.check_interval
+         (fun () ->
+           t.tick_armed <- false;
+           tick t))
+  end
+
+and tick t =
+  let had_traffic = Hashtbl.length t.window > 0 in
+  monitor t;
+  if had_traffic || Hashtbl.length t.limiters > 0 then ensure_tick t
+  else Hashtbl.reset t.known_out_ports
+
+let note_arrival t ~in_port ~out_port =
+  Hashtbl.replace t.known_out_ports out_port ();
+  let key = (out_port, in_port) in
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.window key) in
+  Hashtbl.replace t.window key (n + 1);
+  ensure_tick t
+
+let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
+  t.ctl_received <- t.ctl_received + 1;
+  let key = (arrival_port, congested_port) in
+  let now = W.now t.world in
+  (match Hashtbl.find_opt t.limiters key with
+  | Some lim ->
+    lim.rate_bps <- rate_bps;
+    lim.last_signal <- now
+  | None ->
+    Hashtbl.replace t.limiters key
+      {
+        rate_bps;
+        bucket_bits = 0.0;
+        last_refill = now;
+        last_signal = now;
+        pending = Queue.create ();
+        drain_event = None;
+      });
+  ensure_tick t
+
+let start t =
+  if not t.started then t.started <- true
+
+let backlog t =
+  Hashtbl.fold (fun _ lim acc -> acc + Queue.length lim.pending) t.limiters 0
+
+let limiters t = Hashtbl.length t.limiters
+let ctl_sent t = t.ctl_sent
+let ctl_received t = t.ctl_received

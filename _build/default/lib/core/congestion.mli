@@ -1,0 +1,66 @@
+(** Rate-based congestion control (§2.2).
+
+    Each router monitors its output queues. When a queue builds beyond a
+    threshold, the router signals the "upstream" routers feeding that queue
+    to reduce their rate toward it. Feeders recognize the affected packets
+    from the source route they carry — a packet leaving the feeder on port
+    [p] whose following header segment names port [x] is bound for the
+    congested queue [(p, x)] — so per-flow soft state arises dynamically
+    "from the point of congestion back to the sources" with no circuit
+    setup.
+
+    A feeder's limiter is a token bucket. With no refreshed signal it ramps
+    its rate multiplicatively (the paper: feeders "must progressively push
+    the authorized rate up, similar to Jacobson's slow start") and expires
+    as soft state. Held packets queue in the limiter; when that backlog
+    itself exceeds the threshold the feeder's own monitor propagates the
+    signal further upstream.
+
+    The paper leaves the constants open ("part of on-going research");
+    {!default_config} records this repo's choices. *)
+
+type config = {
+  check_interval : Sim.Time.t;  (** monitor / ramp period *)
+  queue_threshold : int;  (** queued packets that declare congestion *)
+  feeder_share : float;  (** fraction of capacity divided among feeders *)
+  limiter_expiry : Sim.Time.t;  (** soft-state lifetime without refresh *)
+  ramp_factor : float;  (** rate multiplier per quiet interval *)
+  min_rate_bps : float;  (** floor for advertised rates *)
+  ctl_frame_bytes : int;  (** simulated size of a rate-control message *)
+}
+
+val default_config : config
+
+type Netsim.Frame.meta +=
+  | Rate_ctl of { congested_port : int; rate_bps : float }
+        (** "Reduce your rate of packets bound for my port
+            [congested_port] to [rate_bps]." Carried at priority 7. *)
+
+type t
+
+val create : Netsim.World.t -> node:Topo.Graph.node_id -> config -> t
+
+val note_arrival : t -> in_port:Topo.Graph.port -> out_port:Topo.Graph.port -> unit
+(** Record that a packet arriving on [in_port] was routed to [out_port]
+    (feeder bookkeeping for the monitor). *)
+
+val submit :
+  t -> out_port:Topo.Graph.port -> next_port:int option -> bytes:int ->
+  send:(unit -> unit) -> unit
+(** Pass a departing packet of [bytes] through the limiter for
+    [(out_port, next_port)], if any: [send] runs immediately when
+    unthrottled, or is queued and run when the token bucket permits. *)
+
+val handle_ctl :
+  t -> arrival_port:Topo.Graph.port -> congested_port:int -> rate_bps:float -> unit
+(** Install/refresh the limiter keyed [(arrival_port, congested_port)]. *)
+
+val start : t -> unit
+(** Begin the periodic monitor (idempotent). *)
+
+val backlog : t -> int
+(** Packets currently held across all limiters. *)
+
+val limiters : t -> int
+val ctl_sent : t -> int
+val ctl_received : t -> int

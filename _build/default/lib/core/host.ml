@@ -1,0 +1,110 @@
+module G = Topo.Graph
+module W = Netsim.World
+module Seg = Viper.Segment
+module Pkt = Viper.Packet
+
+type t = {
+  world : W.t;
+  node : G.node_id;
+  limiter : Congestion.t;
+      (* hosts are rate-based sources: they honor Rate_ctl feedback by
+         pacing their own injection (§2.2: the control "builds up back from
+         the point of congestion to the sources") *)
+  mutable on_receive : (t -> packet:Pkt.t -> in_port:G.port -> unit) option;
+  mutable received : int;
+  mutable misdelivered : int;
+  mutable rate_signal : (Sim.Time.t * float) option;
+}
+
+let node t = t.node
+let world t = t.world
+let set_receive t f = t.on_receive <- Some f
+let received t = t.received
+let misdelivered t = t.misdelivered
+let rate_signal t = t.rate_signal
+
+let handle t _world ~in_port ~frame ~head:_ ~tail =
+  match frame.Netsim.Frame.meta with
+  | Some (Congestion.Rate_ctl { congested_port; rate_bps }) ->
+    t.rate_signal <- Some (W.now t.world, rate_bps /. 8.0);
+    Congestion.handle_ctl t.limiter ~arrival_port:in_port ~congested_port ~rate_bps
+  | Some _ -> ()
+  | None ->
+    (* Hosts take delivery of the whole packet before acting. *)
+    ignore
+      (Sim.Engine.schedule_at (W.engine t.world) ~time:(max (W.now t.world) tail)
+         (fun () ->
+           if frame.Netsim.Frame.aborted then ()
+           else
+           match Pkt.decode frame.Netsim.Frame.payload with
+           | exception _ -> t.misdelivered <- t.misdelivered + 1
+           | packet ->
+             let final_is_local =
+               match packet.Pkt.route with
+               | [ seg ] -> seg.Seg.port = Seg.local_port
+               | _ -> false
+             in
+             if not final_is_local then t.misdelivered <- t.misdelivered + 1
+             else begin
+               t.received <- t.received + 1;
+               match t.on_receive with
+               | Some f -> f t ~packet ~in_port
+               | None -> ()
+             end))
+
+let create world ~node =
+  let limiter = Congestion.create world ~node Congestion.default_config in
+  let t =
+    {
+      world;
+      node;
+      limiter;
+      on_receive = None;
+      received = 0;
+      misdelivered = 0;
+      rate_signal = None;
+    }
+  in
+  W.set_handler world node (handle t);
+  Congestion.start limiter;
+  t
+
+let send t ~route ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
+    ~data () =
+  let segments =
+    List.map
+      (fun s ->
+        {
+          s with
+          Seg.priority;
+          Seg.flags = { s.Seg.flags with Seg.dib = drop_if_blocked };
+        })
+      route.Route.segments
+  in
+  let payload = Pkt.build ~route:segments ~data in
+  let next_port =
+    match segments with seg :: _ -> Some seg.Seg.port | [] -> None
+  in
+  let result = ref None in
+  Congestion.submit t.limiter ~out_port:route.Route.first_port ~next_port
+    ~bytes:(Bytes.length payload) ~send:(fun () ->
+      let frame = W.fresh_frame t.world ~priority ~drop_if_blocked payload in
+      result := Some (W.send t.world ~node:t.node ~port:route.Route.first_port frame));
+  (* a held packet is queued in the host's own limiter *)
+  match !result with Some r -> r | None -> W.Queued
+
+let reply t ~to_packet ~in_port ?(priority = Token.Priority.normal) ~data () =
+  let back = Pkt.return_route to_packet in
+  let local = Seg.make ~priority ~port:Seg.local_port () in
+  let segments = back @ [ local ] in
+  let payload = Pkt.build ~route:segments ~data in
+  let frame = W.fresh_frame t.world ~priority payload in
+  W.send t.world ~node:t.node ~port:in_port frame
+
+let explode t ~routes ?(priority = Token.Priority.normal) ~data () =
+  List.fold_left
+    (fun sent route ->
+      match send t ~route ~priority ~data () with
+      | W.Started | W.Started_preempting _ | W.Queued -> sent + 1
+      | W.Dropped_blocked | W.Dropped_overflow | W.Dropped_no_link -> sent)
+    0 routes

@@ -1,0 +1,46 @@
+(** A Sirpent host endpoint.
+
+    Hosts originate packets (route segments + data + empty trailer), accept
+    packets whose leading segment is local delivery, and construct return
+    routes from trailers. A host also listens to {!Congestion.Rate_ctl}
+    feedback so a rate-based transport above it can adapt — the paper's
+    congestion scheme "builds up back from the point of congestion to the
+    sources". *)
+
+type t
+
+val create : Netsim.World.t -> node:Topo.Graph.node_id -> t
+val node : t -> Topo.Graph.node_id
+val world : t -> Netsim.World.t
+
+val set_receive :
+  t -> (t -> packet:Viper.Packet.t -> in_port:Topo.Graph.port -> unit) -> unit
+(** Delivery callback (after full reception). *)
+
+val send :
+  t -> route:Route.t -> ?priority:Token.Priority.t -> ?drop_if_blocked:bool ->
+  data:bytes -> unit -> Netsim.World.send_result
+(** Build and transmit a packet along [route]. *)
+
+val reply :
+  t -> to_packet:Viper.Packet.t -> in_port:Topo.Graph.port ->
+  ?priority:Token.Priority.t -> data:bytes -> unit -> Netsim.World.send_result
+(** Send [data] back along the route reconstructed from [to_packet]'s
+    trailer — the receiver-side reversal of §2. [in_port] is where
+    [to_packet] arrived (the reply's first transmission port). Raises
+    [Failure] if the packet was truncated. *)
+
+val explode :
+  t -> routes:Route.t list -> ?priority:Token.Priority.t -> data:bytes -> unit -> int
+(** Multicast-agent behaviour (§2, third mechanism): re-send [data] along
+    each route; returns the number of copies actually handed to the
+    network. *)
+
+val received : t -> int
+val misdelivered : t -> int
+(** Packets that arrived whose leading segment was not local delivery —
+    e.g. after header corruption. The transport layer must also defend
+    itself (§4.1); the host counts what it can see. *)
+
+val rate_signal : t -> (Sim.Time.t * float) option
+(** Most recent congestion feedback: (when, advised bytes/s). *)

@@ -1,0 +1,16 @@
+type mapping = Group of Topo.Graph.port list | Splice of Viper.Segment.t list
+
+type t = (int, mapping) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let set t ~port mapping =
+  (match mapping with
+  | Group [] -> invalid_arg "Logical.set: empty group"
+  | Splice [] -> invalid_arg "Logical.set: empty splice"
+  | Group _ | Splice _ -> ());
+  Hashtbl.replace t port mapping
+
+let clear t ~port = Hashtbl.remove t port
+let lookup t ~port = Hashtbl.find_opt t port
+let mappings t = Hashtbl.length t

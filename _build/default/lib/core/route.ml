@@ -1,0 +1,33 @@
+module G = Topo.Graph
+module Seg = Viper.Segment
+
+type t = { first_port : G.port; segments : Seg.t list }
+
+let of_hops ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
+    ?(tokens = []) _g ~src hops =
+  match hops with
+  | [] -> invalid_arg "Route.of_hops: empty path"
+  | first :: router_hops ->
+    if first.G.at <> src then invalid_arg "Route.of_hops: path does not start at src";
+    let flags = { Seg.no_flags with Seg.dib = drop_if_blocked } in
+    let token_at i =
+      match List.nth_opt tokens i with Some tok -> tok | None -> Bytes.empty
+    in
+    let router_segments =
+      List.mapi
+        (fun i hop ->
+          Seg.make ~flags ~priority ~token:(token_at i) ~port:hop.G.out ())
+        router_hops
+    in
+    let local = Seg.make ~flags ~priority ~port:Seg.local_port () in
+    { first_port = first.G.out; segments = router_segments @ [ local ] }
+
+let hop_count t = List.length t.segments - 1
+
+let header_overhead t =
+  List.fold_left (fun acc s -> acc + Seg.encoded_size s) 0 t.segments
+
+let pp fmt t =
+  Format.fprintf fmt "@[route(out %d):" t.first_port;
+  List.iter (fun s -> Format.fprintf fmt "@ %a" Seg.pp s) t.segments;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,486 @@
+module G = Topo.Graph
+module W = Netsim.World
+module Seg = Viper.Segment
+module Pkt = Viper.Packet
+
+type blocked_handling =
+  | Buffer
+  | Delay_line of { delay : Sim.Time.t; max_circuits : int }
+
+type config = {
+  decision_time : Sim.Time.t;
+  store_and_forward : bool;
+  process_time : Sim.Time.t;
+  require_tokens : bool;
+  token_policy : Token.Cache.miss_policy;
+  verify_time : Sim.Time.t;
+  congestion : Congestion.config option;
+  blocked : blocked_handling;
+}
+
+let default_config =
+  {
+    decision_time = Sim.Time.ns 500;
+    store_and_forward = false;
+    process_time = Sim.Time.us 50;
+    require_tokens = false;
+    token_policy = Token.Cache.Optimistic;
+    verify_time = Sim.Time.us 200;
+    congestion = None;
+    blocked = Buffer;
+  }
+
+type stats = {
+  forwarded : int;
+  delivered_local : int;
+  parse_errors : int;
+  unauthorized : int;
+  deferred : int;
+  truncated : int;
+  multicast_copies : int;
+  spliced : int;
+  send_drops : int;
+  cut_throughs : int;
+  stored_forwards : int;
+  delay_line_circuits : int;  (** re-circulations of blocked packets *)
+}
+
+type t = {
+  world : W.t;
+  node : G.node_id;
+  config : config;
+  cache : Token.Cache.t;
+  ledger : Token.Account.t;
+  logical : Logical.t;
+  congestion : Congestion.t option;
+  port_groups : (int, G.port list) Hashtbl.t;
+  port_handlers :
+    (int, seg:Seg.t -> rest:bytes -> in_port:G.port -> unit) Hashtbl.t;
+  mutable on_local : (packet:Pkt.t -> in_port:G.port -> unit) option;
+  mutable forwarded : int;
+  mutable delivered_local : int;
+  mutable parse_errors : int;
+  mutable unauthorized : int;
+  mutable deferred : int;
+  mutable truncated : int;
+  mutable multicast_copies : int;
+  mutable spliced : int;
+  mutable send_drops : int;
+  mutable cut_throughs : int;
+  mutable stored_forwards : int;
+  mutable delay_line_circuits : int;
+}
+
+let node t = t.node
+let cache t = t.cache
+let ledger t = t.ledger
+let logical t = t.logical
+let congestion t = t.congestion
+
+let stats t =
+  {
+    forwarded = t.forwarded;
+    delivered_local = t.delivered_local;
+    parse_errors = t.parse_errors;
+    unauthorized = t.unauthorized;
+    deferred = t.deferred;
+    truncated = t.truncated;
+    multicast_copies = t.multicast_copies;
+    spliced = t.spliced;
+    send_drops = t.send_drops;
+    cut_throughs = t.cut_throughs;
+    stored_forwards = t.stored_forwards;
+    delay_line_circuits = t.delay_line_circuits;
+  }
+
+let set_port_group t ~port ~ports =
+  if port < Seg.multicast_port_first || port >= Viper.Multicast.tree_port then
+    invalid_arg "Router.set_port_group: port must be 240-253";
+  Hashtbl.replace t.port_groups port ports
+
+let set_local_delivery t f = t.on_local <- Some f
+
+let now t = W.now t.world
+
+(* Clamp to the present: deferred work (e.g. token verification) can leave a
+   cut-through act time in the past. *)
+let schedule t ~time f =
+  ignore (Sim.Engine.schedule_at (W.engine t.world) ~time:(max time (now t)) f)
+
+let link_rate t port =
+  match G.link_via (W.graph t.world) t.node port with
+  | Some l -> Some l.G.props.G.bandwidth_bps
+  | None -> None
+
+let link_mtu t port =
+  match G.link_via (W.graph t.world) t.node port with
+  | Some l -> Some l.G.props.G.mtu
+  | None -> None
+
+(* "It then revises the network-specific portion, if any, so that it
+   constitutes a correct return hop through this router": an Ethernet
+   portInfo gets its addresses swapped; anything else is carried back
+   unchanged. *)
+let revise_info info =
+  if Bytes.length info = Ether.Frame.header_size then
+    try
+      let r = Wire.Buf.reader_of_bytes info in
+      let h = Ether.Frame.read_header r in
+      let w = Wire.Buf.create_writer Ether.Frame.header_size in
+      Ether.Frame.write_header w (Ether.Frame.swap h);
+      Wire.Buf.contents w
+    with Wire.Buf.Underflow -> info
+  else info
+
+let return_segment t ~seg ~in_port ~in_info ~grant =
+  let reverse_ok =
+    match grant with
+    | Some g -> g.Token.Capability.reverse_ok
+    | None -> true (* unverified (or absent) token: carried back as-is *)
+  in
+  let token = if reverse_ok then seg.Seg.token else Bytes.empty in
+  ignore t;
+  (* [in_info]: for out-of-band arrivals (e.g. a tunnel across an IP
+     internetwork, Â§2.3) the return hop's network-specific info is
+     supplied by the injector, not derived from the stripped segment *)
+  let info =
+    match in_info with Some b -> b | None -> revise_info seg.Seg.info
+  in
+  Seg.make
+    ~flags:{ Seg.vnt = false; dib = seg.Seg.flags.Seg.dib; rpf = true }
+    ~priority:seg.Seg.priority ~token ~info ~port:in_port ()
+
+(* The instant forwarding may begin: after the header has been received
+   plus the switching decision for cut-through (input and output rates
+   equal), or after the whole packet plus software processing otherwise. *)
+let act_time t ~in_port ~out_port ~head ~tail ~header_size =
+  let in_rate = link_rate t in_port and out_rate = link_rate t out_port in
+  let can_cut =
+    (not t.config.store_and_forward)
+    &&
+    match in_rate, out_rate with
+    | Some ir, Some orate -> ir = orate
+    | _, _ -> false
+  in
+  if can_cut then begin
+    let header_tx =
+      match in_rate with
+      | Some r -> Sim.Time.transmission ~bits:(8 * header_size) ~rate_bps:r
+      | None -> 0
+    in
+    (`Cut, head + header_tx + t.config.decision_time)
+  end
+  else (`Store, tail + t.config.process_time)
+
+let count_send_result t result =
+  match result with
+  | W.Started | W.Started_preempting _ | W.Queued -> t.forwarded <- t.forwarded + 1
+  | W.Dropped_blocked | W.Dropped_overflow | W.Dropped_no_link ->
+    t.send_drops <- t.send_drops + 1
+
+(* Transmit [payload] out [out_port] at [when_], honoring any congestion
+   limiter for its (out_port, next segment port) queue. *)
+let dispatch t ~seg ~frame ~out_port ~payload ~when_ =
+  let next_port =
+    match Pkt.peek_ports payload with
+    | _, second -> second
+    | exception _ -> None
+  in
+  let send () =
+    match t.config.blocked with
+    | Buffer ->
+      let frame =
+        W.fresh_frame t.world ~priority:seg.Seg.priority
+          ~drop_if_blocked:seg.Seg.flags.Seg.dib payload
+      in
+      count_send_result t (W.send t.world ~node:t.node ~port:out_port frame)
+    | Delay_line { delay; max_circuits } ->
+      (* Â§2.1: a bufferless (Blazenet-style) switch re-circulates a
+         blocked packet through a delay line instead of queueing it *)
+      let rec attempt circuits =
+        let frame =
+          W.fresh_frame t.world ~priority:seg.Seg.priority ~drop_if_blocked:true
+            payload
+        in
+        match W.send t.world ~node:t.node ~port:out_port frame with
+        | W.Started | W.Started_preempting _ | W.Queued ->
+          t.forwarded <- t.forwarded + 1
+        | W.Dropped_blocked ->
+          if circuits < max_circuits && not seg.Seg.flags.Seg.dib then begin
+            t.delay_line_circuits <- t.delay_line_circuits + 1;
+            schedule t ~time:(now t + delay) (fun () -> attempt (circuits + 1))
+          end
+          else t.send_drops <- t.send_drops + 1
+        | W.Dropped_overflow | W.Dropped_no_link ->
+          t.send_drops <- t.send_drops + 1
+      in
+      attempt 0
+  in
+  schedule t ~time:when_ (fun () ->
+      if frame.Netsim.Frame.aborted then t.send_drops <- t.send_drops + 1
+      else
+        match t.congestion with
+        | None -> send ()
+        | Some c ->
+          Congestion.submit c ~out_port ~next_port ~bytes:(Bytes.length payload) ~send)
+
+let forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant =
+  let return_seg = return_segment t ~seg ~in_port ~in_info ~grant in
+  let forwarded = Viper.Trailer.append_hop rest return_seg in
+  let forwarded =
+    match link_mtu t out_port with
+    | Some mtu when Bytes.length forwarded > mtu ->
+      t.truncated <- t.truncated + 1;
+      Pkt.truncate_to forwarded ~max:(mtu - 4)
+    | Some _ | None -> forwarded
+  in
+  let mode, when_ = act_time t ~in_port ~out_port ~head ~tail ~header_size in
+  (match mode with
+  | `Cut -> t.cut_throughs <- t.cut_throughs + 1
+  | `Store -> t.stored_forwards <- t.stored_forwards + 1);
+  (match t.congestion with
+  | Some c -> Congestion.note_arrival c ~in_port ~out_port
+  | None -> ());
+  dispatch t ~seg ~frame ~out_port ~payload:forwarded ~when_
+
+(* Token checking; calls [proceed ~grant] when the packet may be switched.
+   A reverse-path packet (RPF flag) is checked against its arrival port:
+   that is the port its token originally named, and reverse_ok in the grant
+   decides admission (§2.2's reverse-route authorization). *)
+let with_authorization t ~seg ~in_port ~out_port ~packet_bytes ~proceed =
+  let reverse = seg.Seg.flags.Seg.rpf in
+  let auth_port = if reverse then in_port else out_port in
+  let now_ms = now t / 1_000_000 in
+  if Bytes.length seg.Seg.token = 0 then begin
+    if t.config.require_tokens then t.unauthorized <- t.unauthorized + 1
+    else proceed ~grant:None
+  end
+  else begin
+    let verdict =
+      Token.Cache.check t.cache ~token:seg.Seg.token ~port:auth_port
+        ~priority:seg.Seg.priority ~now_ms ~packet_bytes ~reverse
+    in
+    match verdict with
+    | Token.Cache.Admit g -> proceed ~grant:(Some g)
+    | Token.Cache.Deny -> t.unauthorized <- t.unauthorized + 1
+    | Token.Cache.Miss_admit ->
+      (* Optimistic: forward now, decrypt in the background so subsequent
+         packets hit the cache. *)
+      schedule t
+        ~time:(now t + t.config.verify_time)
+        (fun () ->
+          ignore
+            (Token.Cache.complete_verification t.cache ~token:seg.Seg.token
+               ~now_ms:(now t / 1_000_000)));
+      proceed ~grant:None
+    | Token.Cache.Defer ->
+      (* Blocking authentication: hold the packet while the token is
+         decrypted, then re-check. *)
+      t.deferred <- t.deferred + 1;
+      schedule t
+        ~time:(now t + t.config.verify_time)
+        (fun () ->
+          let now_ms = now t / 1_000_000 in
+          if Token.Cache.complete_verification t.cache ~token:seg.Seg.token ~now_ms
+          then begin
+            match
+              Token.Cache.check t.cache ~token:seg.Seg.token ~port:auth_port
+                ~priority:seg.Seg.priority ~now_ms ~packet_bytes ~reverse
+            with
+            | Token.Cache.Admit g -> proceed ~grant:(Some g)
+            | Token.Cache.Deny | Token.Cache.Defer | Token.Cache.Miss_admit
+            | Token.Cache.Miss_drop ->
+              t.unauthorized <- t.unauthorized + 1
+          end
+          else t.unauthorized <- t.unauthorized + 1)
+    | Token.Cache.Miss_drop ->
+      (* dropped, but "in any case, the new token is decrypted, checked and
+         cached to prepare for subsequent packets" *)
+      t.unauthorized <- t.unauthorized + 1;
+      schedule t
+        ~time:(now t + t.config.verify_time)
+        (fun () ->
+          ignore
+            (Token.Cache.complete_verification t.cache ~token:seg.Seg.token
+               ~now_ms:(now t / 1_000_000)))
+  end
+
+let all_ports_except t ~except =
+  List.filter_map
+    (fun (p, _) -> if p = except then None else Some p)
+    (G.ports (W.graph t.world) t.node)
+
+let prepend_segments segments rest =
+  let w = Wire.Buf.create_writer (Bytes.length rest + 64) in
+  List.iter (Seg.write w) segments;
+  Wire.Buf.put_bytes w rest;
+  Wire.Buf.contents w
+
+let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
+  if depth > 4 then t.parse_errors <- t.parse_errors + 1
+  else
+    match Pkt.strip_leading payload with
+    | exception _ ->
+      t.parse_errors <- t.parse_errors + 1
+    | seg, rest ->
+      let header_size = Seg.encoded_size seg in
+      if seg.Seg.port = Seg.local_port then
+        deliver_local t ~frame ~payload ~in_port ~tail
+      else begin
+        match Hashtbl.find_opt t.port_handlers seg.Seg.port with
+        | Some f ->
+          (* custom port (e.g. an interop tunnel): hand over after full
+             reception, like any store-and-forward boundary *)
+          schedule t
+            ~time:(max (now t) tail + t.config.process_time)
+            (fun () -> f ~seg ~rest ~in_port)
+        | None ->
+        match Logical.lookup t.logical ~port:seg.Seg.port with
+        | Some (Logical.Group physical) ->
+          let best = choose_least_queued t physical in
+          with_authorization t ~seg ~in_port ~out_port:seg.Seg.port
+            ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
+              forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port:best
+                ~head ~tail ~header_size ~grant)
+        | Some (Logical.Splice expansion) ->
+          t.spliced <- t.spliced + 1;
+          let vnt_tail = seg.Seg.flags.Seg.vnt in
+          let expansion = normalize_expansion expansion ~vnt_tail in
+          let payload' = prepend_segments expansion rest in
+          process t ~frame ~payload:payload' ~in_port ~in_info ~head ~tail
+            ~depth:(depth + 1)
+        | None ->
+          if seg.Seg.port = Seg.broadcast_port then
+            multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail
+              ~header_size ~ports:(all_ports_except t ~except:in_port)
+          else if seg.Seg.port = Viper.Multicast.tree_port then
+            tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth
+          else if Seg.is_multicast_port seg.Seg.port then begin
+            match Hashtbl.find_opt t.port_groups seg.Seg.port with
+            | Some ports ->
+              multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail
+                ~header_size ~ports
+            | None -> t.parse_errors <- t.parse_errors + 1
+          end
+          else
+            with_authorization t ~seg ~in_port ~out_port:seg.Seg.port
+              ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
+                forward_one t ~seg ~frame ~rest ~in_port ~in_info
+                  ~out_port:seg.Seg.port ~head ~tail ~header_size ~grant)
+      end
+
+and normalize_expansion expansion ~vnt_tail =
+  let n = List.length expansion in
+  List.mapi
+    (fun i s ->
+      let vnt = i < n - 1 || vnt_tail in
+      { s with Seg.flags = { s.Seg.flags with Seg.vnt } })
+    expansion
+
+and choose_least_queued t ports =
+  match ports with
+  | [] -> invalid_arg "Router: empty port group"
+  | first :: _ ->
+    let load p =
+      (if W.port_busy t.world ~node:t.node ~port:p then 1 else 0)
+      + W.queue_length t.world ~node:t.node ~port:p
+    in
+    List.fold_left
+      (fun best p -> if load p < load best then p else best)
+      first ports
+
+and multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~header_size
+    ~ports =
+  List.iter
+    (fun out_port ->
+      t.multicast_copies <- t.multicast_copies + 1;
+      forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail
+        ~header_size ~grant:None)
+    ports
+
+and tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth =
+  match Viper.Multicast.decode_branches seg.Seg.info with
+  | exception _ -> t.parse_errors <- t.parse_errors + 1
+  | branches ->
+    List.iter
+      (fun branch ->
+        t.multicast_copies <- t.multicast_copies + 1;
+        let payload' = prepend_segments branch rest in
+        process t ~frame ~payload:payload' ~in_port ~in_info ~head ~tail
+          ~depth:(depth + 1))
+      branches
+
+and deliver_local t ~frame ~payload ~in_port ~tail =
+  schedule t
+    ~time:(max (now t) tail + t.config.process_time)
+    (fun () ->
+      if frame.Netsim.Frame.aborted then ()
+      else
+      match Pkt.decode payload with
+      | exception _ -> t.parse_errors <- t.parse_errors + 1
+      | packet -> (
+        t.delivered_local <- t.delivered_local + 1;
+        match t.on_local with
+        | Some f -> f ~packet ~in_port
+        | None -> ()))
+
+let handle t _world ~in_port ~frame ~head ~tail =
+  match frame.Netsim.Frame.meta with
+  | Some (Congestion.Rate_ctl { congested_port; rate_bps }) -> (
+    match t.congestion with
+    | Some c -> Congestion.handle_ctl c ~arrival_port:in_port ~congested_port ~rate_bps
+    | None -> ())
+  | Some _ | None ->
+    process t ~frame ~payload:frame.Netsim.Frame.payload ~in_port ~in_info:None
+      ~head ~tail ~depth:0
+
+let create ?(config = default_config) ?key world ~node () =
+  let key =
+    match key with Some k -> k | None -> Token.Cipher.random_looking_key node
+  in
+  let ledger = Token.Account.create () in
+  let congestion =
+    Option.map (fun c -> Congestion.create world ~node c) config.congestion
+  in
+  let t =
+    {
+      world;
+      node;
+      config;
+      cache =
+        Token.Cache.create ~key ~router_id:node ~policy:config.token_policy ~ledger;
+      ledger;
+      logical = Logical.create ();
+      congestion;
+      port_groups = Hashtbl.create 4;
+      port_handlers = Hashtbl.create 4;
+      on_local = None;
+      forwarded = 0;
+      delivered_local = 0;
+      parse_errors = 0;
+      unauthorized = 0;
+      deferred = 0;
+      truncated = 0;
+      multicast_copies = 0;
+      spliced = 0;
+      send_drops = 0;
+      cut_throughs = 0;
+      stored_forwards = 0;
+      delay_line_circuits = 0;
+    }
+  in
+  W.set_handler world node (handle t);
+  Option.iter Congestion.start congestion;
+  t
+
+let set_port_handler t ~port f =
+  if port <= 0 || port >= Seg.multicast_port_first then
+    invalid_arg "Router.set_port_handler: port must be 1-239";
+  Hashtbl.replace t.port_handlers port f
+
+let inject t ~payload ~in_port ~return_info =
+  let frame = W.fresh_frame t.world payload in
+  process t ~frame ~payload ~in_port ~in_info:(Some return_info)
+    ~head:(now t) ~tail:(now t) ~depth:0
+
+let handle_frame t = handle t

@@ -1,0 +1,103 @@
+(** A Sirpent router (§2, §2.1).
+
+    Per packet: strip the leading VIPER header segment into the loopback
+    register, make the switching decision from the port field (available
+    first, while the rest of the segment arrives), check the port token
+    against the cache, revise the network-specific info into a return hop,
+    append the revised segment to the packet trailer, and switch the packet
+    out the named port — cut-through when the input and output data rates
+    match, falling back to store-and-forward otherwise.
+
+    Special port values: 0 local delivery, 255 broadcast, 254 tree
+    multicast, 240-253 configured port groups. Ports with a {!Logical}
+    mapping are expanded (trunk groups / spliced transit routes). *)
+
+type blocked_handling =
+  | Buffer  (** blocked packets wait in the output queue (default) *)
+  | Delay_line of { delay : Sim.Time.t; max_circuits : int }
+      (** Â§2.1's bufferless alternative (after Blazenet): a blocked
+          packet re-circulates through a delay line of the given length up
+          to [max_circuits] times, then is dropped. Packets flagged
+          drop-if-blocked are dropped on the first block either way. *)
+
+type config = {
+  decision_time : Sim.Time.t;
+      (** switch decision and setup — "significantly less than a
+          microsecond" (§6.1); default 500 ns *)
+  store_and_forward : bool;
+      (** disable cut-through entirely (for delay comparisons) *)
+  process_time : Sim.Time.t;
+      (** per-packet software processing applied on the store-and-forward
+          path and to local delivery; default 50 us *)
+  require_tokens : bool;
+      (** reject packets carrying no port token; default false
+          ("the portToken is optional") *)
+  token_policy : Token.Cache.miss_policy;
+  verify_time : Sim.Time.t;
+      (** token decryption+check latency, paid off the fast path *)
+  congestion : Congestion.config option;  (** [None] disables rate control *)
+  blocked : blocked_handling;
+}
+
+val default_config : config
+
+type stats = {
+  forwarded : int;
+  delivered_local : int;
+  parse_errors : int;  (** unparseable leading segment (e.g. corruption) *)
+  unauthorized : int;  (** token denied / required but absent *)
+  deferred : int;  (** packets held for token verification *)
+  truncated : int;  (** over-MTU packets truncated in flight *)
+  multicast_copies : int;
+  spliced : int;  (** logical-hop expansions applied *)
+  send_drops : int;  (** blocked/overflow/no-link at the output port *)
+  cut_throughs : int;
+  stored_forwards : int;
+  delay_line_circuits : int;  (** re-circulations of blocked packets *)
+}
+
+type t
+
+val create :
+  ?config:config -> ?key:Token.Cipher.key -> Netsim.World.t ->
+  node:Topo.Graph.node_id -> unit -> t
+(** Installs the node's frame handler. [key] defaults to a key derived
+    from the node id (see {!Token.Cipher.random_looking_key}) — the
+    directory service derives the same key when minting tokens. *)
+
+val node : t -> Topo.Graph.node_id
+val stats : t -> stats
+val cache : t -> Token.Cache.t
+val ledger : t -> Token.Account.t
+val logical : t -> Logical.t
+val congestion : t -> Congestion.t option
+
+val set_port_group : t -> port:int -> ports:Topo.Graph.port list -> unit
+(** Configure a multicast group port (240-253). Raises [Invalid_argument]
+    outside that range. *)
+
+val set_local_delivery :
+  t -> (packet:Viper.Packet.t -> in_port:Topo.Graph.port -> unit) -> unit
+(** Invoked (after full reception and processing time) for packets whose
+    leading segment names port 0. *)
+
+(** {1 Extension points (interop, Â§2.3)} *)
+
+val set_port_handler :
+  t -> port:int ->
+  (seg:Viper.Segment.t -> rest:bytes -> in_port:Topo.Graph.port -> unit) -> unit
+(** Take over a port value (1-239): packets whose leading segment names it
+    are handed to the callback (stripped segment + remaining bytes) after
+    full reception — how a gateway claims a tunnel port. Raises
+    [Invalid_argument] outside 1-239. *)
+
+val inject :
+  t -> payload:bytes -> in_port:Topo.Graph.port -> return_info:bytes -> unit
+(** Feed a Sirpent packet that arrived out-of-band (e.g. decapsulated from
+    an IP tunnel) into the forwarding pipeline as if received now on
+    [in_port]. [return_info] becomes the appended trailer segment's
+    network-specific portInfo, so replies re-enter the tunnel correctly. *)
+
+val handle_frame : t -> Netsim.World.handler
+(** The router's frame handler (for wrappers that dispatch between stacks
+    on one node). *)

@@ -1,0 +1,1 @@
+lib/cvc/endpoint.ml: Bytes Hashtbl List Netsim Signal Sim Token Topo Wire

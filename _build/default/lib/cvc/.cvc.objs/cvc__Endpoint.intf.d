@@ -1,0 +1,1 @@
+lib/cvc/endpoint.mli: Netsim Sim Topo

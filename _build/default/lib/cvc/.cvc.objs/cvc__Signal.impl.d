@@ -1,0 +1,1 @@
+lib/cvc/signal.ml: Bytes Netsim Topo Wire

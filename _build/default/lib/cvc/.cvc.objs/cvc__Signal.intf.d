@@ -1,0 +1,1 @@
+lib/cvc/signal.mli: Netsim Topo

@@ -1,0 +1,1 @@
+lib/cvc/switch.ml: Bytes Hashtbl List Netsim Option Signal Sim Token Topo Wire

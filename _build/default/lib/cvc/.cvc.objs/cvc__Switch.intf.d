@@ -1,0 +1,1 @@
+lib/cvc/switch.mli: Netsim Sim Topo

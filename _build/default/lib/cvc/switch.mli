@@ -1,0 +1,36 @@
+(** A virtual-circuit switch.
+
+    Holds per-circuit state — the cost §1 charges to the CVC approach: "a
+    significant amount of state in the gateways", bandwidth reservation,
+    and call-setup processing on every new connection. Data forwarding is a
+    cheap label swap but still store-and-forward. *)
+
+type config = {
+  setup_process_time : Sim.Time.t;  (** call processing per setup; default 500 us *)
+  data_process_time : Sim.Time.t;  (** label swap + queue; default 20 us *)
+}
+
+val default_config : config
+
+type stats = {
+  setups_handled : int;
+  setups_refused : int;  (** admission failures *)
+  data_forwarded : int;
+  data_no_circuit : int;
+  releases : int;
+}
+
+type t
+
+val create : ?config:config -> Netsim.World.t -> node:Topo.Graph.node_id -> unit -> t
+val node : t -> Topo.Graph.node_id
+val stats : t -> stats
+
+val circuit_entries : t -> int
+(** Live circuit-table entries (two per transit circuit). *)
+
+val reserved_bps : t -> port:Topo.Graph.port -> int
+(** Bandwidth currently reserved on a port. *)
+
+val recompute_routes : t -> unit
+(** Refresh the static next-hop table used to route setups. *)

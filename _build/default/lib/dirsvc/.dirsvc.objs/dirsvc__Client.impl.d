@@ -1,0 +1,1 @@
+lib/dirsvc/client.ml: Directory Hashtbl Name Sim Topo

@@ -1,0 +1,1 @@
+lib/dirsvc/client.mli: Directory Name Sim Topo

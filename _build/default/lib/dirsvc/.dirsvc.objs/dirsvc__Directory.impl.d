@@ -1,0 +1,1 @@
+lib/dirsvc/directory.ml: Hashtbl List Name Option Sim Sirpent Token Topo

@@ -1,0 +1,1 @@
+lib/dirsvc/directory.mli: Name Sim Sirpent Token Topo

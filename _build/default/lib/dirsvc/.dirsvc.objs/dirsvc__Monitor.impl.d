@@ -1,0 +1,1 @@
+lib/dirsvc/monitor.ml: Directory Float Hashtbl List Netsim Option Sim Topo

@@ -1,0 +1,1 @@
+lib/dirsvc/monitor.mli: Directory Netsim Sim

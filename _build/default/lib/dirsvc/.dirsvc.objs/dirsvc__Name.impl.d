@@ -1,0 +1,1 @@
+lib/dirsvc/name.ml: Format List String

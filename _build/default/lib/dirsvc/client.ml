@@ -1,0 +1,51 @@
+type cache_entry = {
+  answer : Directory.route_info list;
+  expires : Sim.Time.t;
+  selector : Directory.selector;
+  k : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  directory : Directory.t;
+  node : Topo.Graph.node_id;
+  cache_ttl : Sim.Time.t;
+  cache : (string, cache_entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(cache_ttl = Sim.Time.s 10) engine directory ~node =
+  { engine; directory; node; cache_ttl; cache = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let cache_hit_delay = Sim.Time.us 10
+
+let routes t ~target ?(selector = Directory.Lowest_delay) ?(k = 2) callback =
+  let key = Name.to_string target in
+  let now = Sim.Engine.now t.engine in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry when entry.expires > now && entry.selector = selector && entry.k = k ->
+    t.hits <- t.hits + 1;
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:cache_hit_delay (fun () ->
+           callback entry.answer))
+  | Some _ | None ->
+    t.misses <- t.misses + 1;
+    let latency = Directory.query_latency t.directory ~client:t.node ~target in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:latency (fun () ->
+           let answer =
+             Directory.query t.directory ~client:t.node ~target ~selector ~k ()
+           in
+           Hashtbl.replace t.cache key
+             {
+               answer;
+               expires = Sim.Engine.now t.engine + t.cache_ttl;
+               selector;
+               k;
+             };
+           callback answer))
+
+let invalidate t ~target = Hashtbl.remove t.cache (Name.to_string target)
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,28 @@
+(** A directory client with caching (§3).
+
+    "The use of caching, on-use detection of stale data and hierarchical
+    structure ... reduces the expected response time for routing queries."
+    A cache miss pays the hierarchy-resolution latency
+    ({!Directory.query_latency}); a hit answers after a negligible local
+    delay. Stale routes are evicted by TTL or explicitly when the client
+    detects failure in use. *)
+
+type t
+
+val create :
+  ?cache_ttl:Sim.Time.t -> Sim.Engine.t -> Directory.t ->
+  node:Topo.Graph.node_id -> t
+(** [cache_ttl] default 10 s. *)
+
+val routes :
+  t -> target:Name.t -> ?selector:Directory.selector -> ?k:int ->
+  (Directory.route_info list -> unit) -> unit
+(** Deliver routes via the callback after the simulated resolution delay
+    (or the cache-hit delay). *)
+
+val invalidate : t -> target:Name.t -> unit
+(** On-use stale detection: drop any cached answer for this name so the
+    next request re-queries. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,181 @@
+module G = Topo.Graph
+
+type selector = Lowest_delay | Highest_bandwidth | Lowest_cost | Secure
+
+type attributes = {
+  mtu : int;
+  bandwidth_bps : int;
+  propagation : Sim.Time.t;
+  hop_count : int;
+  rtt_estimate : Sim.Time.t;
+  cost : float;
+}
+
+type route_info = {
+  hops : G.hop list;
+  route : Sirpent.Route.t;
+  attrs : attributes;
+}
+
+type t = {
+  graph : G.t;
+  per_level_rtt : Sim.Time.t;
+  token_expiry_ms : int;
+  by_name : (string, G.node_id) Hashtbl.t;
+  by_node : (G.node_id, Name.t) Hashtbl.t;
+  secure_links : (int, unit) Hashtbl.t;
+  link_costs : (int, float) Hashtbl.t;
+  load : (int, float) Hashtbl.t;
+  mutable nonce : int;
+  mutable queries_served : int;
+  mutable tokens_minted : int;
+}
+
+let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) graph =
+  {
+    graph;
+    per_level_rtt;
+    token_expiry_ms;
+    by_name = Hashtbl.create 64;
+    by_node = Hashtbl.create 64;
+    secure_links = Hashtbl.create 16;
+    link_costs = Hashtbl.create 16;
+    load = Hashtbl.create 16;
+    nonce = 0;
+    queries_served = 0;
+    tokens_minted = 0;
+  }
+
+let register t ~name ~node =
+  Hashtbl.replace t.by_name (Name.to_string name) node;
+  Hashtbl.replace t.by_node node name
+
+let lookup_name t name = Hashtbl.find_opt t.by_name (Name.to_string name)
+let name_of_node t node = Hashtbl.find_opt t.by_node node
+
+let set_link_secure t ~link_id secure =
+  if secure then Hashtbl.replace t.secure_links link_id ()
+  else Hashtbl.remove t.secure_links link_id
+
+let set_link_cost t ~link_id c = Hashtbl.replace t.link_costs link_id c
+let report_load t ~link_id ~utilization = Hashtbl.replace t.load link_id utilization
+
+let load_of t link_id = Option.value ~default:0.0 (Hashtbl.find_opt t.load link_id)
+
+let admin_cost t link_id =
+  Option.value ~default:1.0 (Hashtbl.find_opt t.link_costs link_id)
+
+let is_secure t link_id = Hashtbl.mem t.secure_links link_id
+
+let insecure_penalty = 1e7
+
+let delay_metric t (l : G.link) =
+  (* One-way latency for a representative 512-byte packet, loaded links
+     penalized so advisories steer around congestion. *)
+  let tx = Sim.Time.transmission ~bits:4096 ~rate_bps:l.G.props.G.bandwidth_bps in
+  let base = Sim.Time.to_seconds (l.G.props.G.propagation + tx) in
+  base *. (1.0 +. (4.0 *. load_of t l.G.link_id)) +. 1e-9
+
+let metric_for t selector (l : G.link) =
+  match selector with
+  | Lowest_delay -> delay_metric t l
+  | Highest_bandwidth ->
+    (* Shortest path under inverse bandwidth approximates widest-path for
+       tree-like internets; documented approximation. *)
+    1e9 /. float_of_int l.G.props.G.bandwidth_bps
+  | Lowest_cost -> admin_cost t l.G.link_id
+  | Secure ->
+    if is_secure t l.G.link_id then delay_metric t l
+    else insecure_penalty +. delay_metric t l
+
+let path_links t hops =
+  List.map
+    (fun { G.at; out } ->
+      match G.link_via t.graph at out with
+      | Some l -> l
+      | None -> failwith "Directory: route over missing link")
+    hops
+
+let attributes_of t selector hops =
+  let links = path_links t hops in
+  let mtu = List.fold_left (fun acc l -> min acc l.G.props.G.mtu) max_int links in
+  let bandwidth_bps =
+    List.fold_left (fun acc l -> min acc l.G.props.G.bandwidth_bps) max_int links
+  in
+  let propagation =
+    List.fold_left (fun acc l -> acc + l.G.props.G.propagation) 0 links
+  in
+  let hop_count = max 0 (List.length hops - 1) in
+  let tx_full = Sim.Time.transmission ~bits:(8 * mtu) ~rate_bps:bandwidth_bps in
+  let per_hop = Sim.Time.us 1 in
+  let rtt_estimate = 2 * (propagation + tx_full + (hop_count * per_hop)) in
+  let cost =
+    List.fold_left (fun acc l -> acc +. metric_for t selector l) 0.0 links
+  in
+  { mtu; bandwidth_bps; propagation; hop_count; rtt_estimate; cost }
+
+let mint_tokens t ~client ~priority hops =
+  (* One token per router hop (hops after the client's own first hop). *)
+  match hops with
+  | [] -> []
+  | _ :: router_hops ->
+    List.map
+      (fun { G.at; out } ->
+        let key = Token.Cipher.random_looking_key at in
+        t.nonce <- (t.nonce + 1) land 0xFF;
+        t.tokens_minted <- t.tokens_minted + 1;
+        let grant =
+          {
+            Token.Capability.router_id = at;
+            port = out;
+            max_priority = priority;
+            reverse_ok = true;
+            account = client;
+            packet_limit = 0;
+            expiry_ms = t.token_expiry_ms;
+          }
+        in
+        Token.Capability.to_bytes (Token.Capability.mint key ~nonce:t.nonce grant))
+      router_hops
+
+let secure_path t hops =
+  List.for_all (fun l -> is_secure t l.G.link_id) (path_links t hops)
+
+let query t ~client ~target ?(selector = Lowest_delay) ?(k = 2)
+    ?(priority = Token.Priority.highest) () =
+  t.queries_served <- t.queries_served + 1;
+  match lookup_name t target with
+  | None -> []
+  | Some dst ->
+    if dst = client then []
+    else begin
+      let metric = metric_for t selector in
+      let paths = G.k_shortest_paths t.graph ~metric ~src:client ~dst ~k in
+      let paths =
+        match selector with
+        | Secure -> List.filter (secure_path t) paths
+        | Lowest_delay | Highest_bandwidth | Lowest_cost -> paths
+      in
+      List.filter_map
+        (fun hops ->
+          match hops with
+          | [] -> None
+          | _ ->
+            let tokens = mint_tokens t ~client ~priority hops in
+            let route =
+              Sirpent.Route.of_hops ~priority ~tokens t.graph ~src:client hops
+            in
+            Some { hops; route; attrs = attributes_of t selector hops })
+        paths
+    end
+
+let query_latency t ~client ~target =
+  let levels =
+    match name_of_node t client with
+    | Some client_name -> Name.hierarchy_distance client_name target + 1
+    | None -> Name.depth (Name.region target) + 1
+  in
+  levels * t.per_level_rtt
+
+let queries_served t = t.queries_served
+let tokens_minted t = t.tokens_minted

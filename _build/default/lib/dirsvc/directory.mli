@@ -1,0 +1,74 @@
+(** The internetwork routing directory (§3).
+
+    The global name directory extended to return {e routes} — with their
+    attributes and the authorizing port tokens — for a character-string
+    name. "A client can request and receive multiple routes to a service.
+    It can also request a route with particular properties, such as low
+    delay, high bandwidth, low cost and security." Merging routing into the
+    directory removes IP-style addresses and per-router route computation
+    entirely.
+
+    Query latency is modelled from the region hierarchy: resolving a name
+    walks up/down region servers, one configurable round trip per level,
+    unless the client cache answers. Routers and monitors feed back load
+    and failures; clients refresh by re-querying (route advisories). *)
+
+type selector =
+  | Lowest_delay
+  | Highest_bandwidth
+  | Lowest_cost
+  | Secure  (** only links marked secure; lowest delay among them *)
+
+type attributes = {
+  mtu : int;  (** min over the route's links *)
+  bandwidth_bps : int;  (** bottleneck *)
+  propagation : Sim.Time.t;  (** one-way, sum *)
+  hop_count : int;  (** routers traversed *)
+  rtt_estimate : Sim.Time.t;
+      (** "a client can determine (up to variations in queuing delay) the
+          roundtrip time ... rather than discovering these parameters over
+          time" — two-way propagation plus per-hop decision times plus the
+          transmission of a full-size packet each way *)
+  cost : float;
+}
+
+type route_info = {
+  hops : Topo.Graph.hop list;
+  route : Sirpent.Route.t;  (** segments with tokens attached *)
+  attrs : attributes;
+}
+
+type t
+
+val create :
+  ?per_level_rtt:Sim.Time.t -> ?token_expiry_ms:int -> Topo.Graph.t -> t
+(** [per_level_rtt] (default 2 ms) prices each hierarchy level a
+    resolution walks. [token_expiry_ms] 0 (default) mints non-expiring
+    tokens. *)
+
+val register : t -> name:Name.t -> node:Topo.Graph.node_id -> unit
+val lookup_name : t -> Name.t -> Topo.Graph.node_id option
+val name_of_node : t -> Topo.Graph.node_id -> Name.t option
+
+val set_link_secure : t -> link_id:int -> bool -> unit
+(** Links default to insecure; [Secure] queries use only secure links. *)
+
+val set_link_cost : t -> link_id:int -> float -> unit
+(** Administrative cost for [Lowest_cost] (default 1.0 per link). *)
+
+val report_load : t -> link_id:int -> utilization:float -> unit
+(** Monitors/routers report link load; loaded links are penalized in
+    delay-based route selection. *)
+
+val query :
+  t -> client:Topo.Graph.node_id -> target:Name.t -> ?selector:selector ->
+  ?k:int -> ?priority:Token.Priority.t -> unit -> route_info list
+(** Up to [k] (default 2) loop-free routes, best first, with tokens minted
+    for every router hop. Empty if the name is unknown or unreachable. *)
+
+val query_latency : t -> client:Topo.Graph.node_id -> target:Name.t -> Sim.Time.t
+(** The simulated resolution delay a non-cached query pays (clients add
+    this before using the result; {!Client} automates it). *)
+
+val queries_served : t -> int
+val tokens_minted : t -> int

@@ -1,0 +1,1 @@
+lib/ether/addr.ml: Format Int64 List Printf String Wire

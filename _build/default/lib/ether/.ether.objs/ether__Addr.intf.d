@@ -1,0 +1,1 @@
+lib/ether/addr.mli: Format Wire

@@ -1,0 +1,34 @@
+(** 48-bit Ethernet (MAC) addresses. *)
+
+type t
+(** Abstract; comparable with [compare] and usable as a map key. *)
+
+val of_int64 : int64 -> t
+(** Low 48 bits are used. *)
+
+val to_int64 : t -> int64
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"]. Raises [Invalid_argument] otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val broadcast : t
+(** ff:ff:ff:ff:ff:ff *)
+
+val is_broadcast : t -> bool
+val is_multicast : t -> bool
+(** Low bit of the first octet set. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val write : Wire.Buf.writer -> t -> unit
+(** 6 bytes, network order. *)
+
+val read : Wire.Buf.reader -> t
+
+val of_host_id : int -> t
+(** Deterministic locally-administered unicast address for simulated host
+    [n]: convenient for wiring simulations. *)

@@ -1,0 +1,1 @@
+lib/interop/gateway.ml: Bytes Ipbase List Netsim Sim Sirpent Token Topo Viper Wire

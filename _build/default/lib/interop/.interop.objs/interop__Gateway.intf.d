@@ -1,0 +1,1 @@
+lib/interop/gateway.mli: Netsim Sirpent Token Topo Viper

@@ -1,0 +1,151 @@
+module G = Topo.Graph
+module W = Netsim.World
+module Seg = Viper.Segment
+
+let protocol_number = 94
+
+let tunnel_info ~remote_addr =
+  let w = Wire.Buf.create_writer 4 in
+  Wire.Buf.put_u32_int w (remote_addr land 0xFFFFFFFF);
+  Wire.Buf.contents w
+
+let tunnel_segment ?(priority = Token.Priority.normal) ~tunnel_port ~remote_addr () =
+  Seg.make ~priority ~info:(tunnel_info ~remote_addr) ~port:tunnel_port ()
+
+type stats = {
+  encapsulated : int;
+  decapsulated : int;
+  bad_tunnel_info : int;
+  ip_dropped : int;
+}
+
+type t = {
+  world : W.t;
+  node : G.node_id;
+  cloud_port : G.port;
+  tunnel_port : int;
+  ttl : int;
+  router : Sirpent.Router.t;
+  reassembly : Ipbase.Frag.Reassembly.t;
+  mutable next_ident : int;
+  mutable encapsulated : int;
+  mutable decapsulated : int;
+  mutable bad_tunnel_info : int;
+  mutable ip_dropped : int;
+}
+
+let router t = t.router
+let addr t = Ipbase.Header.addr_of_node t.node
+
+let stats t =
+  {
+    encapsulated = t.encapsulated;
+    decapsulated = t.decapsulated;
+    bad_tunnel_info = t.bad_tunnel_info;
+    ip_dropped = t.ip_dropped;
+  }
+
+let parse_tunnel_info info =
+  if Bytes.length info <> 4 then None
+  else Some (Wire.Buf.get_u32_int (Wire.Buf.reader_of_bytes info))
+
+(* Sirpent -> cloud: wrap the remaining VIPER bytes in an IP datagram to the
+   remote gateway, fragmenting to the cloud link's MTU at origin. *)
+let encapsulate t ~seg ~rest ~in_port =
+  match parse_tunnel_info seg.Seg.info with
+  | None -> t.bad_tunnel_info <- t.bad_tunnel_info + 1
+  | Some remote_addr ->
+    (* the return entry for this hop: back out the Sirpent-side arrival
+       port (point-to-point; no network-specific info) *)
+    let return_seg =
+      Seg.make
+        ~flags:{ Seg.vnt = false; dib = seg.Seg.flags.Seg.dib; rpf = true }
+        ~priority:seg.Seg.priority ~token:seg.Seg.token ~port:in_port ()
+    in
+    let viper_bytes = Viper.Trailer.append_hop rest return_seg in
+    t.next_ident <- (t.next_ident + 1) land 0xFFFF;
+    let header =
+      {
+        Ipbase.Header.tos = 0;
+        total_length = Ipbase.Header.size + Bytes.length viper_bytes;
+        ident = t.next_ident;
+        dont_fragment = false;
+        more_fragments = false;
+        frag_offset = 0;
+        ttl = t.ttl;
+        protocol = protocol_number;
+        src = addr t;
+        dst = remote_addr;
+      }
+    in
+    let packet = Bytes.cat (Ipbase.Header.encode header) viper_bytes in
+    let mtu =
+      match G.link_via (W.graph t.world) t.node t.cloud_port with
+      | Some l -> l.G.props.G.mtu
+      | None -> Viper.Packet.max_transmission_unit
+    in
+    match Ipbase.Frag.fragment packet ~mtu with
+    | exception Failure _ -> t.bad_tunnel_info <- t.bad_tunnel_info + 1
+    | fragments ->
+      t.encapsulated <- t.encapsulated + 1;
+      List.iter
+        (fun fragment_bytes ->
+          let frame = W.fresh_frame t.world fragment_bytes in
+          ignore (W.send t.world ~node:t.node ~port:t.cloud_port frame))
+        fragments
+
+(* cloud -> Sirpent: verify, reassemble, decapsulate, inject. *)
+let accept_ip t packet =
+  if not (Ipbase.Header.checksum_ok packet) then t.ip_dropped <- t.ip_dropped + 1
+  else
+    match Ipbase.Frag.Reassembly.offer t.reassembly ~now:(W.now t.world) packet with
+    | None -> ()
+    | Some whole ->
+      let h = Ipbase.Header.decode whole in
+      if h.Ipbase.Header.protocol <> protocol_number then
+        t.ip_dropped <- t.ip_dropped + 1
+      else begin
+        t.decapsulated <- t.decapsulated + 1;
+        let viper_bytes =
+          Bytes.sub whole Ipbase.Header.size
+            (Bytes.length whole - Ipbase.Header.size)
+        in
+        (* Return hop: re-enter the tunnel toward the datagram's source. *)
+        Sirpent.Router.inject t.router ~payload:viper_bytes
+          ~in_port:t.tunnel_port
+          ~return_info:(tunnel_info ~remote_addr:h.Ipbase.Header.src)
+      end
+
+let handle t world ~in_port ~frame ~head ~tail =
+  if in_port = t.cloud_port then
+    ignore
+      (Sim.Engine.schedule_at (W.engine t.world)
+         ~time:(max (W.now t.world) tail)
+         (fun () ->
+           if not frame.Netsim.Frame.aborted then
+             accept_ip t frame.Netsim.Frame.payload))
+  else Sirpent.Router.handle_frame t.router world ~in_port ~frame ~head ~tail
+
+let create ?router_config ?(ttl = 32) world ~node ~cloud_port ~tunnel_port () =
+  let router = Sirpent.Router.create ?config:router_config world ~node () in
+  let t =
+    {
+      world;
+      node;
+      cloud_port;
+      tunnel_port;
+      ttl;
+      router;
+      reassembly = Ipbase.Frag.Reassembly.create ();
+      next_ident = 0;
+      encapsulated = 0;
+      decapsulated = 0;
+      bad_tunnel_info = 0;
+      ip_dropped = 0;
+    }
+  in
+  Sirpent.Router.set_port_handler router ~port:tunnel_port (fun ~seg ~rest ~in_port ->
+      encapsulate t ~seg ~rest ~in_port);
+  (* Take over the node's handler to split cloud vs Sirpent traffic. *)
+  W.set_handler world node (handle t);
+  t

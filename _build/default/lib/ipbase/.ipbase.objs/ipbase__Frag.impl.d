@@ -1,0 +1,1 @@
+lib/ipbase/frag.ml: Array Bytes Hashtbl Header List Sim

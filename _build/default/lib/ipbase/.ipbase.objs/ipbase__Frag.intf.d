@@ -1,0 +1,1 @@
+lib/ipbase/frag.mli: Sim

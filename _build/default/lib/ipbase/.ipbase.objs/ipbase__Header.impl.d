@@ -1,0 +1,1 @@
+lib/ipbase/header.ml: Bytes Char Checksum Printf Wire

@@ -1,0 +1,1 @@
+lib/ipbase/host.ml: Bytes Frag Header Linkstate List Netsim Sim Token Topo

@@ -1,0 +1,1 @@
+lib/ipbase/host.mli: Header Netsim Sim Topo

@@ -1,0 +1,1 @@
+lib/ipbase/linkstate.ml: Bytes Hashtbl List Netsim Sim Token Topo

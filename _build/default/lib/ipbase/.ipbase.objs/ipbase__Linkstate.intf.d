@@ -1,0 +1,1 @@
+lib/ipbase/linkstate.mli: Netsim Sim Topo

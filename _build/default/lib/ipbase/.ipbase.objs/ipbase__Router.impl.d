@@ -1,0 +1,1 @@
+lib/ipbase/router.ml: Bytes Frag Hashtbl Header Linkstate List Netsim Option Sim Topo

@@ -1,0 +1,1 @@
+lib/ipbase/router.mli: Header Linkstate Netsim Sim Topo

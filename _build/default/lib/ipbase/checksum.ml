@@ -1,0 +1,27 @@
+let fold ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum: bad window";
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  (* Fold carries. *)
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  !sum
+
+let compute ?off ?len b = lnot (fold ?off ?len b) land 0xFFFF
+let valid ?off ?len b = fold ?off ?len b = 0xFFFF
+
+let incremental_update ~old_checksum ~old_u16 ~new_u16 =
+  (* RFC 1624: HC' = ~(~HC + ~m + m') *)
+  let sum = (lnot old_checksum land 0xFFFF) + (lnot old_u16 land 0xFFFF) + new_u16 in
+  let sum = (sum land 0xFFFF) + (sum lsr 16) in
+  let sum = (sum land 0xFFFF) + (sum lsr 16) in
+  lnot sum land 0xFFFF

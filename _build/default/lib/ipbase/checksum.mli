@@ -1,0 +1,15 @@
+(** The Internet ones-complement checksum (RFC 1071), as verified and
+    updated by every IP router — part of the per-packet processing cost the
+    paper's introduction holds against the datagram approach. *)
+
+val compute : ?off:int -> ?len:int -> bytes -> int
+(** 16-bit ones-complement of the ones-complement sum of the given window
+    (default: whole buffer), padding an odd trailing byte with zero. *)
+
+val valid : ?off:int -> ?len:int -> bytes -> bool
+(** True when the window (including its embedded checksum field) sums to
+    0xFFFF, i.e. checksums to zero. *)
+
+val incremental_update : old_checksum:int -> old_u16:int -> new_u16:int -> int
+(** RFC 1624 incremental update for a single changed 16-bit word (e.g. the
+    TTL byte pair) — what a fast router does instead of recomputing. *)

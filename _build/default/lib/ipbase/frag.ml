@@ -1,0 +1,125 @@
+let fragment packet ~mtu =
+  if Bytes.length packet <= mtu then [ packet ]
+  else begin
+    let h = Header.decode packet in
+    if h.Header.dont_fragment then failwith "dont-fragment";
+    let payload_room = (mtu - Header.size) / 8 * 8 in
+    if payload_room <= 0 then invalid_arg "Frag.fragment: mtu too small";
+    let payload_len = Bytes.length packet - Header.size in
+    let rec cut off acc =
+      if off >= payload_len then List.rev acc
+      else begin
+        let this_len = min payload_room (payload_len - off) in
+        let last = off + this_len >= payload_len in
+        let fh =
+          {
+            h with
+            Header.total_length = Header.size + this_len;
+            Header.more_fragments = (not last) || h.Header.more_fragments;
+            Header.frag_offset = h.Header.frag_offset + (off / 8);
+          }
+        in
+        let fragment_bytes =
+          Bytes.cat (Header.encode fh) (Bytes.sub packet (Header.size + off) this_len)
+        in
+        cut (off + this_len) (fragment_bytes :: acc)
+      end
+    in
+    cut 0 []
+  end
+
+module Reassembly = struct
+  type buffer = {
+    mutable chunks : (int * bytes) list;  (* (offset bytes, payload) *)
+    mutable total_payload : int option;  (* known once the last fragment arrives *)
+    mutable first_header : Header.t option;  (* from the offset-0 fragment *)
+    mutable deadline : Sim.Time.t;
+  }
+
+  type t = {
+    timeout : Sim.Time.t;
+    buffers : (int * int * int * int, buffer) Hashtbl.t;
+    mutable expired : int;
+  }
+
+  let create ?(timeout = Sim.Time.s 30) () =
+    { timeout; buffers = Hashtbl.create 16; expired = 0 }
+
+  let collect t ~now =
+    let dead =
+      Hashtbl.fold
+        (fun k b acc -> if now > b.deadline then k :: acc else acc)
+        t.buffers []
+    in
+    List.iter
+      (fun k ->
+        Hashtbl.remove t.buffers k;
+        t.expired <- t.expired + 1)
+      dead
+
+  let try_complete b =
+    match b.total_payload, b.first_header with
+    | Some total, Some h ->
+      let data = Bytes.create total in
+      let covered = Array.make total false in
+      List.iter
+        (fun (off, payload) ->
+          let len = min (Bytes.length payload) (total - off) in
+          if len > 0 then begin
+            Bytes.blit payload 0 data off len;
+            for i = off to off + len - 1 do
+              covered.(i) <- true
+            done
+          end)
+        b.chunks;
+      if Array.for_all (fun x -> x) covered then begin
+        let header =
+          {
+            h with
+            Header.total_length = Header.size + total;
+            Header.more_fragments = false;
+            Header.frag_offset = 0;
+          }
+        in
+        Some (Bytes.cat (Header.encode header) data)
+      end
+      else None
+    | _, _ -> None
+
+  let offer t ~now packet =
+    collect t ~now;
+    let h = Header.decode packet in
+    if (not h.Header.more_fragments) && h.Header.frag_offset = 0 then Some packet
+    else begin
+      let key = (h.Header.src, h.Header.dst, h.Header.ident, h.Header.protocol) in
+      let b =
+        match Hashtbl.find_opt t.buffers key with
+        | Some b -> b
+        | None ->
+          let b =
+            {
+              chunks = [];
+              total_payload = None;
+              first_header = None;
+              deadline = now + t.timeout;
+            }
+          in
+          Hashtbl.replace t.buffers key b;
+          b
+      in
+      let off = 8 * h.Header.frag_offset in
+      let payload = Bytes.sub packet Header.size (Bytes.length packet - Header.size) in
+      b.chunks <- (off, payload) :: b.chunks;
+      if off = 0 then b.first_header <- Some h;
+      if not h.Header.more_fragments then
+        b.total_payload <- Some (off + Bytes.length payload);
+      match try_complete b with
+      | Some whole ->
+        Hashtbl.remove t.buffers key;
+        Some whole
+      | None -> None
+    end
+
+  let pending t = Hashtbl.length t.buffers
+  let expired t = t.expired
+end

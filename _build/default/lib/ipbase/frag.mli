@@ -1,0 +1,28 @@
+(** IP fragmentation and reassembly — "the all-or-nothing behavior of IP
+    in the reassembly of packets" (§4.3) that Sirpent deliberately omits. *)
+
+val fragment : bytes -> mtu:int -> bytes list
+(** Split an encoded IP packet into fragments each fitting [mtu] bytes
+    (header included). Returns the packet unchanged if it fits. Raises
+    [Failure "dont-fragment"] when splitting is needed but DF is set, and
+    [Invalid_argument] if [mtu] cannot hold a header plus one 8-byte
+    unit. *)
+
+(** Reassembly buffers, keyed by (src, dst, ident, protocol). *)
+module Reassembly : sig
+  type t
+
+  val create : ?timeout:Sim.Time.t -> unit -> t
+  (** [timeout] (default 30 s) discards incomplete buffers. *)
+
+  val offer : t -> now:Sim.Time.t -> bytes -> bytes option
+  (** Feed one fragment (or whole packet); returns the complete packet
+      when reassembly finishes. Expired buffers are collected on the
+      way. *)
+
+  val pending : t -> int
+  (** Incomplete reassemblies held. *)
+
+  val expired : t -> int
+  (** Buffers dropped by timeout — each is a whole lost logical packet. *)
+end

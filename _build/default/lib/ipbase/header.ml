@@ -1,0 +1,84 @@
+type t = {
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;
+  ttl : int;
+  protocol : int;
+  src : int;
+  dst : int;
+}
+
+let size = 20
+
+let addr_of_node n =
+  if n < 0 || n > 0xFFFFFF then invalid_arg "Header.addr_of_node";
+  0x0A000000 lor n
+
+let node_of_addr a = a land 0xFFFFFF
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+let encode h =
+  let w = Wire.Buf.create_writer size in
+  Wire.Buf.put_u8 w 0x45 (* version 4, IHL 5 *);
+  Wire.Buf.put_u8 w h.tos;
+  Wire.Buf.put_u16 w h.total_length;
+  Wire.Buf.put_u16 w h.ident;
+  let flags =
+    (if h.dont_fragment then 0x4000 else 0) lor (if h.more_fragments then 0x2000 else 0)
+  in
+  Wire.Buf.put_u16 w (flags lor (h.frag_offset land 0x1FFF));
+  Wire.Buf.put_u8 w h.ttl;
+  Wire.Buf.put_u8 w h.protocol;
+  Wire.Buf.put_u16 w 0 (* checksum placeholder *);
+  Wire.Buf.put_u32_int w h.src;
+  Wire.Buf.put_u32_int w h.dst;
+  let b = Wire.Buf.contents w in
+  let sum = Checksum.compute ~off:0 ~len:size b in
+  Bytes.set_uint16_be b 10 sum;
+  b
+
+let decode b =
+  let r = Wire.Buf.reader_of_bytes b in
+  let vihl = Wire.Buf.get_u8 r in
+  if vihl <> 0x45 then invalid_arg "Header.decode: not v4/IHL5";
+  let tos = Wire.Buf.get_u8 r in
+  let total_length = Wire.Buf.get_u16 r in
+  let ident = Wire.Buf.get_u16 r in
+  let ff = Wire.Buf.get_u16 r in
+  let ttl = Wire.Buf.get_u8 r in
+  let protocol = Wire.Buf.get_u8 r in
+  let _checksum = Wire.Buf.get_u16 r in
+  let src = Wire.Buf.get_u32_int r in
+  let dst = Wire.Buf.get_u32_int r in
+  {
+    tos;
+    total_length;
+    ident;
+    dont_fragment = ff land 0x4000 <> 0;
+    more_fragments = ff land 0x2000 <> 0;
+    frag_offset = ff land 0x1FFF;
+    ttl;
+    protocol;
+    src;
+    dst;
+  }
+
+let checksum_ok b =
+  Bytes.length b >= size && Checksum.valid ~off:0 ~len:size b
+
+let decrement_ttl b =
+  let ttl = Char.code (Bytes.get b 8) in
+  let proto = Char.code (Bytes.get b 9) in
+  let old_u16 = (ttl lsl 8) lor proto in
+  let new_ttl = ttl - 1 in
+  let new_u16 = (new_ttl lsl 8) lor proto in
+  Bytes.set b 8 (Char.chr new_ttl);
+  let old_checksum = Bytes.get_uint16_be b 10 in
+  Bytes.set_uint16_be b 10 (Checksum.incremental_update ~old_checksum ~old_u16 ~new_u16);
+  new_ttl

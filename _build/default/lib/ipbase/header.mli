@@ -1,0 +1,40 @@
+(** IPv4-style internetwork datagram header (RFC 791 layout, 20 bytes, no
+    options) — the "universal internetwork datagram" baseline the paper
+    argues against. *)
+
+type t = {
+  tos : int;
+  total_length : int;  (** header + payload, bytes *)
+  ident : int;  (** 16-bit identification for reassembly *)
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** in 8-byte units *)
+  ttl : int;
+  protocol : int;
+  src : int;  (** 32-bit address *)
+  dst : int;
+}
+
+val size : int
+(** 20 bytes. *)
+
+val addr_of_node : int -> int
+(** Simulation addressing plan: node [n] has address 10.x.y.z with
+    [x.y.z = n]. *)
+
+val node_of_addr : int -> int
+val addr_to_string : int -> string
+
+val encode : t -> bytes
+(** With a correct header checksum. *)
+
+val decode : bytes -> t
+(** Parses the first 20 bytes; does NOT verify the checksum (routers do
+    that explicitly to model the cost). Raises on short input. *)
+
+val checksum_ok : bytes -> bool
+(** Verify the header checksum in place. *)
+
+val decrement_ttl : bytes -> int
+(** In-place TTL decrement with RFC 1624 incremental checksum update —
+    the per-hop mutation IP requires. Returns the new TTL. *)

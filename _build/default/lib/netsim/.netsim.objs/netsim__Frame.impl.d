@@ -1,0 +1,1 @@
+lib/netsim/frame.ml: Bytes Format Sim Token

@@ -1,0 +1,1 @@
+lib/netsim/frame.mli: Format Sim Token

@@ -1,0 +1,1 @@
+lib/netsim/world.ml: Bytes Char Frame Hashtbl Printf Sim Token Topo

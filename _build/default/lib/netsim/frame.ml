@@ -1,0 +1,18 @@
+type meta = ..
+
+type t = {
+  id : int;
+  payload : bytes;
+  priority : Token.Priority.t;
+  drop_if_blocked : bool;
+  born : Sim.Time.t;
+  meta : meta option;
+  mutable aborted : bool;
+}
+
+let bits t = 8 * Bytes.length t.payload
+
+let pp fmt t =
+  Format.fprintf fmt "frame#%d(%dB prio%X%s)" t.id (Bytes.length t.payload)
+    t.priority
+    (if t.drop_if_blocked then " DIB" else "")

@@ -1,0 +1,28 @@
+(** Frames in flight on simulated links.
+
+    A frame carries real protocol bytes plus simulation bookkeeping (id,
+    birth time) and the fields a link scheduler needs without parsing the
+    payload: priority and the drop-if-blocked disposition. Protocol stacks
+    attach out-of-band metadata through the extensible {!meta} type (used
+    for control messages whose wire format the paper leaves open). *)
+
+type meta = ..
+
+type t = {
+  id : int;  (** unique per world *)
+  payload : bytes;
+  priority : Token.Priority.t;
+  drop_if_blocked : bool;
+  born : Sim.Time.t;
+  meta : meta option;
+  mutable aborted : bool;
+      (** set when the transmission carrying this frame was preempted
+          mid-wire (§5: priorities 6-7 "preempt the transmission of lower
+          priority packets in mid-transmission"); a receiver that has seen
+          the head must discard the runt when the tail never arrives *)
+}
+
+val bits : t -> int
+(** Payload size in bits (what the link serializes). *)
+
+val pp : Format.formatter -> t -> unit

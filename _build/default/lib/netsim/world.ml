@@ -1,0 +1,274 @@
+module G = Topo.Graph
+
+type send_result =
+  | Started
+  | Started_preempting of Frame.t
+  | Queued
+  | Dropped_blocked
+  | Dropped_overflow
+  | Dropped_no_link
+
+type handler =
+  t -> in_port:G.port -> frame:Frame.t -> head:Sim.Time.t -> tail:Sim.Time.t -> unit
+
+and transmission = {
+  tx_frame : Frame.t;
+  delivered_frame : Frame.t;  (* may be a corrupted copy of tx_frame *)
+  finish : Sim.Time.t;
+  delivery : Sim.Engine.handle;
+  completion : Sim.Engine.handle;
+}
+
+and outport = {
+  op_node : G.node_id;
+  op_port : G.port;
+  mutable current : transmission option;
+  queue : Frame.t Sim.Heap.t;  (** keyed by inverted priority rank, FIFO seq *)
+  mutable qseq : int;
+  mutable queued_bytes : int;
+  mutable buffer_bytes : int;
+  (* stats *)
+  mutable sent_frames : int;
+  mutable sent_bytes : int;
+  mutable dropped_blocked : int;
+  mutable dropped_overflow : int;
+  mutable dropped_no_link : int;
+  mutable preempted : int;
+  mutable corrupted : int;
+  mutable busy_time : Sim.Time.t;
+  qtrack : Sim.Stats.Timeweighted.t;
+}
+
+and t = {
+  engine : Sim.Engine.t;
+  graph : G.t;
+  default_buffer_bytes : int;
+  handlers : (G.node_id, handler) Hashtbl.t;
+  outports : (G.node_id * G.port, outport) Hashtbl.t;
+  ber : (int, float) Hashtbl.t;  (** link_id -> bit error rate *)
+  rng : Sim.Rng.t;
+  mutable next_frame_id : int;
+  mutable undelivered : int;
+  mutable trace : Sim.Trace.t option;
+}
+
+let create ?(default_buffer_bytes = 256 * 1024) engine graph =
+  {
+    engine;
+    graph;
+    default_buffer_bytes;
+    handlers = Hashtbl.create 64;
+    outports = Hashtbl.create 256;
+    ber = Hashtbl.create 8;
+    rng = Sim.Rng.create 0xC0FFEEL;
+    next_frame_id = 0;
+    undelivered = 0;
+    trace = None;
+  }
+
+let engine t = t.engine
+let graph t = t.graph
+let now t = Sim.Engine.now t.engine
+let set_trace t trace = t.trace <- Some trace
+
+let trace t fmt =
+  match t.trace with
+  | Some tr -> Sim.Trace.recordf tr ~time:(now t) fmt
+  | None -> Printf.ikfprintf ignore () fmt
+
+let outport t node port =
+  match Hashtbl.find_opt t.outports (node, port) with
+  | Some op -> op
+  | None ->
+    let op =
+      {
+        op_node = node;
+        op_port = port;
+        current = None;
+        queue = Sim.Heap.create ();
+        qseq = 0;
+        queued_bytes = 0;
+        buffer_bytes = t.default_buffer_bytes;
+        sent_frames = 0;
+        sent_bytes = 0;
+        dropped_blocked = 0;
+        dropped_overflow = 0;
+        dropped_no_link = 0;
+        preempted = 0;
+        corrupted = 0;
+        busy_time = 0;
+        qtrack = Sim.Stats.Timeweighted.create ~start:(now t) ~initial:0.0;
+      }
+    in
+    Hashtbl.replace t.outports (node, port) op;
+    op
+
+let set_handler t node h = Hashtbl.replace t.handlers node h
+
+let fresh_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
+    ?meta payload =
+  let id = t.next_frame_id in
+  t.next_frame_id <- id + 1;
+  { Frame.id; payload; priority; drop_if_blocked; born = now t; meta; aborted = false }
+
+let set_buffer_bytes t ~node ~port n = (outport t node port).buffer_bytes <- n
+let set_bit_error_rate t ~link_id p = Hashtbl.replace t.ber link_id p
+let fail_link t link = G.disconnect t.graph link
+
+let maybe_corrupt t op link frame =
+  match Hashtbl.find_opt t.ber link.G.link_id with
+  | None -> frame
+  | Some p ->
+    let bits = Frame.bits frame in
+    let p_frame = 1.0 -. ((1.0 -. p) ** float_of_int bits) in
+    if Sim.Rng.float t.rng 1.0 >= p_frame then frame
+    else begin
+      op.corrupted <- op.corrupted + 1;
+      let payload = Bytes.copy frame.Frame.payload in
+      let i = Sim.Rng.int t.rng (max 1 (Bytes.length payload)) in
+      Bytes.set payload i
+        (Char.chr (Char.code (Bytes.get payload i) lxor (1 lsl Sim.Rng.int t.rng 8)));
+      { frame with Frame.payload; Frame.aborted = false }
+    end
+
+let deliver t ~link ~from_node ~frame ~head ~tail =
+  let peer_node, peer_port = G.peer link from_node in
+  match Hashtbl.find_opt t.handlers peer_node with
+  | Some h -> h t ~in_port:peer_port ~frame ~head ~tail
+  | None -> t.undelivered <- t.undelivered + 1
+
+(* Begin transmitting [frame] on [op], which must be idle, over [link]. *)
+let rec start_transmission t op link frame =
+  let start = now t in
+  let rate = link.G.props.G.bandwidth_bps in
+  let tx_time = Sim.Time.transmission ~bits:(Frame.bits frame) ~rate_bps:rate in
+  let finish = start + tx_time in
+  let head = start + link.G.props.G.propagation in
+  let tail = finish + link.G.props.G.propagation in
+  let delivered = maybe_corrupt t op link frame in
+  let delivery =
+    Sim.Engine.schedule_at t.engine ~time:head (fun () ->
+        deliver t ~link ~from_node:op.op_node ~frame:delivered ~head ~tail)
+  in
+  let completion =
+    Sim.Engine.schedule_at t.engine ~time:finish (fun () -> complete t op)
+  in
+  op.current <- Some { tx_frame = frame; delivered_frame = delivered; finish; delivery; completion };
+  op.sent_frames <- op.sent_frames + 1;
+  op.sent_bytes <- op.sent_bytes + Bytes.length frame.Frame.payload;
+  op.busy_time <- op.busy_time + tx_time
+
+and complete t op =
+  op.current <- None;
+  match Sim.Heap.pop op.queue with
+  | None -> ()
+  | Some (_, _, frame) ->
+    op.queued_bytes <- op.queued_bytes - Bytes.length frame.Frame.payload;
+    Sim.Stats.Timeweighted.set op.qtrack ~now:(now t)
+      (float_of_int (Sim.Heap.size op.queue));
+    (match G.link_via t.graph op.op_node op.op_port with
+    | Some link -> start_transmission t op link frame
+    | None ->
+      op.dropped_no_link <- op.dropped_no_link + 1;
+      complete t op)
+
+let enqueue t op frame =
+  if op.queued_bytes + Bytes.length frame.Frame.payload > op.buffer_bytes then begin
+    op.dropped_overflow <- op.dropped_overflow + 1;
+    trace t "node %d port %d: frame#%d dropped (buffer overflow)" op.op_node
+      op.op_port frame.Frame.id;
+    Dropped_overflow
+  end
+  else begin
+    (* Min-heap: smaller key pops first, so invert the priority rank. *)
+    let key = 15 - Token.Priority.rank frame.Frame.priority in
+    Sim.Heap.push op.queue ~time:key ~seq:op.qseq frame;
+    op.qseq <- op.qseq + 1;
+    op.queued_bytes <- op.queued_bytes + Bytes.length frame.Frame.payload;
+    Sim.Stats.Timeweighted.set op.qtrack ~now:(now t)
+      (float_of_int (Sim.Heap.size op.queue));
+    Queued
+  end
+
+let send t ~node ~port frame =
+  let op = outport t node port in
+  match G.link_via t.graph node port with
+  | None ->
+    op.dropped_no_link <- op.dropped_no_link + 1;
+    Dropped_no_link
+  | Some link -> (
+    match op.current with
+    | None ->
+      start_transmission t op link frame;
+      Started
+    | Some tx ->
+      let incoming_preempts =
+        Token.Priority.preemptive frame.Frame.priority
+        && (not (Token.Priority.preemptive tx.tx_frame.Frame.priority))
+        && Token.Priority.compare frame.Frame.priority tx.tx_frame.Frame.priority > 0
+      in
+      if incoming_preempts then begin
+        (* Abort the transmission in flight: its delivery never happens and
+           the port frees immediately. The busy-time already charged is an
+           acceptable over-count of a partial transmission. *)
+        (* The victim's head may already be arriving downstream: mark the
+           frame as a runt so receivers that act at tail time discard it. *)
+        Sim.Engine.cancel t.engine tx.delivery;
+        Sim.Engine.cancel t.engine tx.completion;
+        tx.tx_frame.Frame.aborted <- true;
+        tx.delivered_frame.Frame.aborted <- true;
+        op.preempted <- op.preempted + 1;
+        trace t "node %d port %d: frame#%d preempted frame#%d" node port
+          frame.Frame.id tx.tx_frame.Frame.id;
+        op.current <- None;
+        start_transmission t op link frame;
+        Started_preempting tx.tx_frame
+      end
+      else if frame.Frame.drop_if_blocked then begin
+        op.dropped_blocked <- op.dropped_blocked + 1;
+        trace t "node %d port %d: frame#%d dropped (blocked)" node port
+          frame.Frame.id;
+        Dropped_blocked
+      end
+      else enqueue t op frame)
+
+let queue_length t ~node ~port = Sim.Heap.size (outport t node port).queue
+let queued_bytes t ~node ~port = (outport t node port).queued_bytes
+let port_busy t ~node ~port =
+  match (outport t node port).current with Some _ -> true | None -> false
+
+type port_stats = {
+  sent_frames : int;
+  sent_bytes : int;
+  dropped_blocked : int;
+  dropped_overflow : int;
+  dropped_no_link : int;
+  preempted : int;
+  corrupted : int;
+  busy_time : Sim.Time.t;
+  mean_queue : float;
+  max_queue : float;
+}
+
+let port_stats t ~node ~port =
+  let op = outport t node port in
+  {
+    sent_frames = op.sent_frames;
+    sent_bytes = op.sent_bytes;
+    dropped_blocked = op.dropped_blocked;
+    dropped_overflow = op.dropped_overflow;
+    dropped_no_link = op.dropped_no_link;
+    preempted = op.preempted;
+    corrupted = op.corrupted;
+    busy_time = op.busy_time;
+    mean_queue = Sim.Stats.Timeweighted.mean op.qtrack ~now:(now t);
+    max_queue = Sim.Stats.Timeweighted.max op.qtrack;
+  }
+
+let utilization t ~node ~port =
+  let op = outport t node port in
+  let elapsed = now t in
+  if elapsed = 0 then 0.0
+  else float_of_int op.busy_time /. float_of_int elapsed
+
+let undelivered t = t.undelivered

@@ -1,0 +1,88 @@
+(** The simulated internetwork: a topology whose nodes exchange frames over
+    links with real serialization, propagation and queueing.
+
+    Transmission model: a frame of [b] bits sent on a link of rate [R]
+    occupies the output port for [b/R]; its head reaches the peer after the
+    propagation delay and its tail [b/R] later. The receiving handler gets
+    both times, so a store-and-forward node acts at [tail] while a
+    cut-through node acts once the header has arrived after [head] — the
+    distinction at the core of §6.1.
+
+    Output ports serve a priority queue (VIPER rank order, FIFO within a
+    rank). A preemptive-priority frame (§5: priorities 6-7) aborts a lower
+    priority, non-preemptive transmission in progress; the aborted frame is
+    lost in flight. Frames flagged drop-if-blocked are discarded rather
+    than queued. *)
+
+type t
+
+type send_result =
+  | Started  (** port was free; transmission began *)
+  | Started_preempting of Frame.t  (** began by aborting the given frame *)
+  | Queued
+  | Dropped_blocked  (** drop-if-blocked frame found the port busy *)
+  | Dropped_overflow  (** output buffer full *)
+  | Dropped_no_link  (** port not connected (link down) *)
+
+type handler =
+  t -> in_port:Topo.Graph.port -> frame:Frame.t -> head:Sim.Time.t ->
+  tail:Sim.Time.t -> unit
+
+val create :
+  ?default_buffer_bytes:int -> Sim.Engine.t -> Topo.Graph.t -> t
+(** [default_buffer_bytes] bounds each output queue (default 256 KiB). *)
+
+val engine : t -> Sim.Engine.t
+val graph : t -> Topo.Graph.t
+val now : t -> Sim.Time.t
+
+val set_handler : t -> Topo.Graph.node_id -> handler -> unit
+(** Frames delivered to a node without a handler are counted and dropped. *)
+
+val fresh_frame :
+  t -> ?priority:Token.Priority.t -> ?drop_if_blocked:bool ->
+  ?meta:Frame.meta -> bytes -> Frame.t
+
+val send : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> Frame.t -> send_result
+(** Hand a frame to the node's output port for transmission now. *)
+
+val set_buffer_bytes : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int -> unit
+
+val set_bit_error_rate : t -> link_id:int -> float -> unit
+(** Independent per-bit corruption probability; a corrupted delivery has a
+    random payload byte flipped (the header-corruption scenario of §4.1). *)
+
+val fail_link : t -> Topo.Graph.link -> unit
+(** Take a link down: removes it from the topology; frames already in
+    flight still arrive; subsequent sends get [Dropped_no_link]. *)
+
+(** {1 Introspection for congestion control and experiments} *)
+
+val queue_length : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int
+val queued_bytes : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int
+val port_busy : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> bool
+
+type port_stats = {
+  sent_frames : int;
+  sent_bytes : int;
+  dropped_blocked : int;
+  dropped_overflow : int;
+  dropped_no_link : int;
+  preempted : int;  (** transmissions aborted by a preemptive frame *)
+  corrupted : int;
+  busy_time : Sim.Time.t;  (** total time the port was transmitting *)
+  mean_queue : float;  (** time-averaged queue length (excluding in service) *)
+  max_queue : float;
+}
+
+val port_stats : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> port_stats
+
+val utilization : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> float
+(** busy_time / elapsed time. *)
+
+val undelivered : t -> int
+(** Frames that arrived at nodes with no handler. *)
+
+val set_trace : t -> Sim.Trace.t -> unit
+(** Attach a debug trace: drops, overflows and preemptions are recorded
+    with their simulation times. *)

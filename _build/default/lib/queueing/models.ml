@@ -1,0 +1,25 @@
+let check rho =
+  if rho < 0.0 || rho >= 1.0 then invalid_arg "Queueing: need 0 <= rho < 1"
+
+let md1_queue_length rho =
+  check rho;
+  rho +. (rho *. rho /. (2.0 *. (1.0 -. rho)))
+
+let md1_wait ~rho ~service =
+  check rho;
+  rho *. service /. (2.0 *. (1.0 -. rho))
+
+let md1_sojourn ~rho ~service = md1_wait ~rho ~service +. service
+
+let mm1_queue_length rho =
+  check rho;
+  rho /. (1.0 -. rho)
+
+let mm1_wait ~rho ~service =
+  check rho;
+  rho *. service /. (1.0 -. rho)
+
+let mg1_wait ~rho ~service ~cs2 =
+  check rho;
+  if cs2 < 0.0 then invalid_arg "Queueing: cs2 < 0";
+  rho *. service *. (1.0 +. cs2) /. (2.0 *. (1.0 -. rho))

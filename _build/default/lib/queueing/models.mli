@@ -1,0 +1,34 @@
+(** Analytic queueing formulas backing §6.1's claims.
+
+    The paper: "with reasonable load (up to about 70 percent utilization),
+    M/D/1 modeling of the queue suggests an average queue length of
+    approximately one packet or less, including the packet currently being
+    transmitted. The average queueing delay is then approximately the
+    transmission time for half of an average packet."
+
+    All functions take the utilization [rho = lambda / mu] and raise
+    [Invalid_argument] outside [0 <= rho < 1]. *)
+
+val md1_queue_length : float -> float
+(** Mean number in system (queue + in service) for M/D/1:
+    [rho + rho^2 / (2 (1 - rho))]. *)
+
+val md1_wait : rho:float -> service:float -> float
+(** Mean waiting time in queue (excluding own service) for M/D/1 with
+    deterministic service time [service]:
+    [rho * service / (2 (1 - rho))]. *)
+
+val md1_sojourn : rho:float -> service:float -> float
+(** Wait plus service. *)
+
+val mm1_queue_length : float -> float
+(** Mean number in system for M/M/1: [rho / (1 - rho)]. *)
+
+val mm1_wait : rho:float -> service:float -> float
+(** [rho * service / (1 - rho)]. *)
+
+val mg1_wait : rho:float -> service:float -> cs2:float -> float
+(** Pollaczek-Khinchine mean wait for M/G/1 with squared coefficient of
+    variation [cs2] of the service time:
+    [rho * service * (1 + cs2) / (2 (1 - rho))]. M/D/1 is [cs2 = 0],
+    M/M/1 is [cs2 = 1]. *)

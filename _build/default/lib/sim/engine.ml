@@ -1,0 +1,52 @@
+type event = { action : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  queue : event Heap.t;
+}
+
+let create () = { clock = Time.zero; next_seq = 0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let e = { action = f; cancelled = false } in
+  Heap.push t.queue ~time ~seq:t.next_seq e;
+  t.next_seq <- t.next_seq + 1;
+  e
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) f
+
+let cancel _t handle = handle.cancelled <- true
+
+let run ?until ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_events do
+    match Heap.peek_time t.queue with
+    | None -> continue := false
+    | Some time ->
+      let stop = match until with Some u -> time > u | None -> false in
+      if stop then continue := false
+      else begin
+        match Heap.pop t.queue with
+        | None -> continue := false
+        | Some (time, _seq, e) ->
+          t.clock <- time;
+          if not e.cancelled then begin
+            e.action ();
+            incr executed
+          end
+      end
+  done;
+  match until with
+  | Some u when t.clock < u -> t.clock <- u
+  | Some _ | None -> ()
+
+let pending t = Heap.size t.queue

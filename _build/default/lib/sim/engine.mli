@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a {!Heap}. Callbacks scheduled at the
+    same instant run in the order they were scheduled. Cancellation is by
+    handle; cancelled events are skipped when popped. *)
+
+type t
+
+type handle
+(** A scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. [Time.zero] before the first event runs. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay].
+    Raises [Invalid_argument] on a negative delay. *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
+(** Absolute-time variant. The time must not be in the simulated past. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-run or already-cancelled event is a no-op. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the event queue. [until] stops the clock at that time (events
+    scheduled later remain queued); [max_events] guards against runaway
+    simulations. *)
+
+val pending : t -> int
+(** Events still queued (including cancelled ones not yet skipped). *)

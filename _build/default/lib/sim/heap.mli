@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The sequence number makes event ordering total and FIFO among
+    simultaneous events, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Smallest [(time, seq, value)], or [None] when empty. *)
+
+val peek_time : 'a t -> int option
+(** Time of the smallest element without removing it. *)

@@ -1,0 +1,25 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let of_seconds f = int_of_float ((f *. 1e9) +. 0.5)
+let to_seconds t = float_of_int t /. 1e9
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms t)
+  else Format.fprintf fmt "%.3fs" (to_seconds t)
+
+let transmission ~bits ~rate_bps =
+  if rate_bps <= 0 then invalid_arg "Time.transmission";
+  if bits < 0 then invalid_arg "Time.transmission";
+  (* ceil (bits * 1e9 / rate) without overflow for rates up to 100 Gb/s and
+     packets up to megabytes: bits * 1_000_000_000 fits in 63 bits for
+     bits < 9.2e9. *)
+  ((bits * 1_000_000_000) + rate_bps - 1) / rate_bps

@@ -1,0 +1,30 @@
+(** Simulated time in integer nanoseconds.
+
+    An OCaml [int] holds 63 bits, i.e. ~292 simulated years at nanosecond
+    resolution — ample for every experiment. Nanoseconds keep sub-microsecond
+    switch decision times (§6.1 of the paper) exactly representable. *)
+
+type t = int
+(** Nanoseconds since simulation start. Always non-negative. *)
+
+val zero : t
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val of_seconds : float -> t
+(** Rounds to the nearest nanosecond. *)
+
+val to_seconds : t -> float
+val to_us : t -> float
+val to_ms : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human units: ["350ns"], ["12.40us"], ["3.50ms"], ["1.200s"]. *)
+
+val transmission : bits:int -> rate_bps:int -> t
+(** Time to clock [bits] onto a link of [rate_bps] bits/second, rounded up
+    to a whole nanosecond. Raises [Invalid_argument] on a non-positive
+    rate. *)

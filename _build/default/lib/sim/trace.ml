@@ -1,0 +1,41 @@
+type t = {
+  capacity : int;
+  ring : (Time.t * string) option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time message =
+  t.ring.(t.next) <- Some (time, message);
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t ~time fmt = Printf.ksprintf (record t ~time) fmt
+
+let size t = min t.total t.capacity
+let total t = t.total
+
+let entries t =
+  let n = size t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let dump t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (time, message) ->
+      Buffer.add_string buf (Format.asprintf "[%a] %s\n" Time.pp time message))
+    (entries t);
+  Buffer.contents buf
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,29 @@
+(** A bounded in-memory event trace for debugging simulations.
+
+    Components record one-line events; the trace keeps the most recent
+    [capacity] entries (a ring), so long runs stay cheap. Rendering is
+    deferred to {!dump}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 entries. *)
+
+val record : t -> time:Time.t -> string -> unit
+
+val recordf : t -> time:Time.t -> ('a, unit, string, unit) format4 -> 'a
+(** [recordf t ~time "port %d busy" p] — formatted variant. *)
+
+val size : t -> int
+(** Entries currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Entries ever recorded (including overwritten ones). *)
+
+val entries : t -> (Time.t * string) list
+(** Oldest retained first. *)
+
+val dump : t -> string
+(** One line per retained entry: ["[12.40us] message"]. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/token/account.ml: Hashtbl List

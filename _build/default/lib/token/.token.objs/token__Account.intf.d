@@ -1,0 +1,1 @@
+lib/token/account.mli:

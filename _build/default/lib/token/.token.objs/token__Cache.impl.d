@@ -1,0 +1,1 @@
+lib/token/cache.ml: Account Bytes Capability Cipher Hashtbl

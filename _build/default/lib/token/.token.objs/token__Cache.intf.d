@@ -1,0 +1,1 @@
+lib/token/cache.mli: Account Capability Cipher

@@ -1,0 +1,1 @@
+lib/token/capability.ml: Bytes Cipher Int64 Wire

@@ -1,0 +1,1 @@
+lib/token/capability.mli: Cipher

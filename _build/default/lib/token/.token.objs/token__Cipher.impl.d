@@ -1,0 +1,1 @@
+lib/token/cipher.ml: Array Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/token/cipher.mli:

@@ -1,0 +1,1 @@
+lib/token/priority.mli: Format

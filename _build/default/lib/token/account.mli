@@ -1,0 +1,17 @@
+(** Per-account usage ledger (§2.2): "Cache entries are also used to
+    maintain accounting information such as packet or byte counts to be
+    charged to the account designated by the token." *)
+
+type t
+
+type usage = { packets : int; bytes : int }
+
+val create : unit -> t
+val charge : t -> account:int -> packets:int -> bytes:int -> unit
+val usage : t -> account:int -> usage
+(** Zero usage for accounts never charged. *)
+
+val accounts : t -> int list
+(** Accounts with any usage, ascending. *)
+
+val total : t -> usage

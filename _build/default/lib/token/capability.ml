@@ -1,0 +1,80 @@
+type grant = {
+  router_id : int;
+  port : int;
+  max_priority : int;
+  reverse_ok : bool;
+  account : int;
+  packet_limit : int;
+  expiry_ms : int;
+}
+
+type t = bytes
+
+let payload_size = 24
+let mac_size = 8
+let size = payload_size + mac_size
+let magic = 0x53 (* 'S', sanity check surviving decryption *)
+
+let iv = 0x243F6A8885A308D3L
+
+let encode_grant ~nonce g =
+  let w = Wire.Buf.create_writer payload_size in
+  Wire.Buf.put_u32_int w (g.router_id land 0xffffffff);
+  Wire.Buf.put_u8 w (g.port land 0xff);
+  Wire.Buf.put_u8 w (g.max_priority land 0xf);
+  Wire.Buf.put_u8 w (if g.reverse_ok then 1 else 0);
+  Wire.Buf.put_u8 w (nonce land 0xff);
+  Wire.Buf.put_u32_int w (g.account land 0xffffffff);
+  Wire.Buf.put_u32_int w (g.packet_limit land 0xffffffff);
+  Wire.Buf.put_u32_int w (g.expiry_ms land 0xffffffff);
+  Wire.Buf.put_u8 w magic;
+  Wire.Buf.put_zeros w 3;
+  Wire.Buf.contents w
+
+let decode_grant b =
+  let r = Wire.Buf.reader_of_bytes b in
+  let router_id = Wire.Buf.get_u32_int r in
+  let port = Wire.Buf.get_u8 r in
+  let max_priority = Wire.Buf.get_u8 r in
+  let reverse_ok = Wire.Buf.get_u8 r = 1 in
+  let _nonce = Wire.Buf.get_u8 r in
+  let account = Wire.Buf.get_u32_int r in
+  let packet_limit = Wire.Buf.get_u32_int r in
+  let expiry_ms = Wire.Buf.get_u32_int r in
+  let check = Wire.Buf.get_u8 r in
+  if check <> magic then None
+  else Some { router_id; port; max_priority; reverse_ok; account; packet_limit; expiry_ms }
+
+let mint key ~nonce grant =
+  let plain = encode_grant ~nonce grant in
+  let cipher = Cipher.encrypt_cbc key ~iv plain in
+  let tag = Cipher.mac key cipher in
+  let out = Bytes.create size in
+  Bytes.blit cipher 0 out 0 payload_size;
+  Bytes.set_int64_be out payload_size tag;
+  out
+
+let verify key t =
+  if Bytes.length t <> size then None
+  else begin
+    let cipher = Bytes.sub t 0 payload_size in
+    let tag = Bytes.get_int64_be t payload_size in
+    if not (Int64.equal tag (Cipher.mac key cipher)) then None
+    else decode_grant (Cipher.decrypt_cbc key ~iv cipher)
+  end
+
+let of_bytes b = if Bytes.length b = size then Some b else None
+let to_bytes t = Bytes.copy t
+let equal = Bytes.equal
+
+let forged () = Bytes.make size '\xA5'
+
+let permits g ~port ~priority ~now_ms ~reverse =
+  let priority_rank p =
+    (* §5: 0 normal .. 7 highest; high bit set = sub-normal, 0xF lowest. *)
+    if p land 0x8 = 0 then p + 8 else 0xF - p
+  in
+  g.port = port
+  && priority_rank priority <= priority_rank g.max_priority
+  && (g.expiry_ms = 0 || now_ms <= g.expiry_ms)
+  && ((not reverse) || g.reverse_ok)

@@ -1,0 +1,109 @@
+type key = { rounds : int array (* 16 round keys, 32 bits each *) }
+
+let rounds = 16
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let key_of_int64 seed =
+  let state = ref seed in
+  let round_keys =
+    Array.init rounds (fun _ ->
+        state := Int64.add !state 0x9E3779B97F4A7C15L;
+        Int64.to_int (Int64.logand (mix64 !state) 0xFFFF_FFFFL))
+  in
+  { rounds = round_keys }
+
+let random_looking_key id = key_of_int64 (mix64 (Int64.of_int (id + 0x5EED)))
+
+(* Round function on 32-bit halves, kept in OCaml ints. *)
+let mask32 = 0xFFFF_FFFF
+
+let rotl32 v n = ((v lsl n) lor (v lsr (32 - n))) land mask32
+
+let feistel_f half rk =
+  let x = (half + rk) land mask32 in
+  let x = x lxor rotl32 x 7 in
+  let x = (x * 0x9E3779B1) land mask32 in
+  x lxor rotl32 x 13
+
+let split v =
+  ( Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFF_FFFFL),
+    Int64.to_int (Int64.logand v 0xFFFF_FFFFL) )
+
+let join hi lo =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (hi land mask32)) 32)
+    (Int64.of_int (lo land mask32))
+
+let encrypt_block k v =
+  let l = ref (fst (split v)) and r = ref (snd (split v)) in
+  for i = 0 to rounds - 1 do
+    let l' = !r in
+    let r' = !l lxor feistel_f !r k.rounds.(i) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let decrypt_block k v =
+  let l = ref (fst (split v)) and r = ref (snd (split v)) in
+  for i = rounds - 1 downto 0 do
+    let r' = !l in
+    let l' = !r lxor feistel_f !l k.rounds.(i) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let blocks_of b =
+  let n = Bytes.length b in
+  if n mod 8 <> 0 then invalid_arg "Cipher: length not a multiple of 8";
+  Array.init (n / 8) (fun i -> Bytes.get_int64_be b (8 * i))
+
+let bytes_of blocks =
+  let out = Bytes.create (8 * Array.length blocks) in
+  Array.iteri (fun i v -> Bytes.set_int64_be out (8 * i) v) blocks;
+  out
+
+let encrypt_cbc k ~iv plain =
+  let blocks = blocks_of plain in
+  let prev = ref iv in
+  let cipher =
+    Array.map
+      (fun b ->
+        let c = encrypt_block k (Int64.logxor b !prev) in
+        prev := c;
+        c)
+      blocks
+  in
+  bytes_of cipher
+
+let decrypt_cbc k ~iv cipher =
+  let blocks = blocks_of cipher in
+  let prev = ref iv in
+  let plain =
+    Array.map
+      (fun c ->
+        let p = Int64.logxor (decrypt_block k c) !prev in
+        prev := c;
+        p)
+      blocks
+  in
+  bytes_of plain
+
+let mac k data =
+  let n = Bytes.length data in
+  let padded_len = ((n + 8) / 8) * 8 in
+  let padded = Bytes.make padded_len '\000' in
+  Bytes.blit data 0 padded 0 n;
+  (* Length-prefix the padding to prevent extension across the pad. *)
+  Bytes.set padded (padded_len - 1) (Char.chr (n land 0xff));
+  let derived = { rounds = Array.map (fun rk -> rk lxor 0x5C5C5C5C) k.rounds } in
+  let tag = ref 0x6A09E667F3BCC908L in
+  Array.iter
+    (fun b -> tag := encrypt_block derived (Int64.logxor b !tag))
+    (blocks_of padded);
+  !tag

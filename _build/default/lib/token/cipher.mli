@@ -1,0 +1,29 @@
+(** 64-bit-block Feistel cipher, built from scratch.
+
+    The paper requires tokens to be "encrypted (difficult-to-forge)
+    capabilities" (§2.2). No cryptographic library is available offline, so
+    this is a self-contained 16-round Feistel network with a splitmix-style
+    key schedule. It is NOT cryptographically strong; the experiments only
+    depend on tokens being opaque to non-holders of the key and on the
+    relative cost of full verification vs a cache hit. *)
+
+type key
+
+val key_of_int64 : int64 -> key
+val random_looking_key : int -> key
+(** Deterministic key derived from an integer id — handy for giving each
+    simulated router a distinct key. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+(** [decrypt_block k (encrypt_block k v) = v]. *)
+
+val encrypt_cbc : key -> iv:int64 -> bytes -> bytes
+(** CBC over 8-byte blocks. The input length must be a multiple of 8;
+    raises [Invalid_argument] otherwise. *)
+
+val decrypt_cbc : key -> iv:int64 -> bytes -> bytes
+
+val mac : key -> bytes -> int64
+(** CBC-MAC tag of the input (any length; zero-padded internally), using a
+    derived key so the tag is not forgeable from CBC ciphertext blocks. *)

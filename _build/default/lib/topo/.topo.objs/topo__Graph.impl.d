@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Array Hashtbl List Printf Sim

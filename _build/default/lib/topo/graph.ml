@@ -1,0 +1,376 @@
+type node_id = int
+type port = int
+type node_kind = Host | Router
+
+type link_props = {
+  bandwidth_bps : int;
+  propagation : Sim.Time.t;
+  mtu : int;
+}
+
+type link = {
+  link_id : int;
+  a : node_id;
+  a_port : port;
+  b : node_id;
+  b_port : port;
+  props : link_props;
+}
+
+type node = {
+  kind : node_kind;
+  name : string;
+  ports : (port, link) Hashtbl.t;
+  mutable next_port : port;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable next_link : int;
+  mutable all_links : link list;
+  by_name : (string, node_id) Hashtbl.t;
+}
+
+let create () =
+  { nodes = [||]; n = 0; next_link = 0; all_links = []; by_name = Hashtbl.create 64 }
+
+let max_ports = 255
+
+let add_node g ?name kind =
+  let id = g.n in
+  let name =
+    match name with
+    | Some s -> s
+    | None -> (match kind with Host -> "h" | Router -> "r") ^ string_of_int id
+  in
+  let node = { kind; name; ports = Hashtbl.create 4; next_port = 1 } in
+  if g.n = Array.length g.nodes then begin
+    let cap = max 16 (2 * g.n) in
+    let fresh = Array.make cap node in
+    Array.blit g.nodes 0 fresh 0 g.n;
+    g.nodes <- fresh
+  end;
+  g.nodes.(g.n) <- node;
+  g.n <- g.n + 1;
+  Hashtbl.replace g.by_name name id;
+  id
+
+let node_count g = g.n
+
+let get g id =
+  if id < 0 || id >= g.n then invalid_arg "Graph: bad node id";
+  g.nodes.(id)
+
+let kind g id = (get g id).kind
+let name g id = (get g id).name
+let find_by_name g s = Hashtbl.find_opt g.by_name s
+
+let alloc_port node =
+  if node.next_port > max_ports then failwith "Graph.connect: node has 255 ports";
+  let p = node.next_port in
+  node.next_port <- p + 1;
+  p
+
+let connect g a b props =
+  let na = get g a and nb = get g b in
+  let pa = alloc_port na and pb = alloc_port nb in
+  let link = { link_id = g.next_link; a; a_port = pa; b; b_port = pb; props } in
+  g.next_link <- g.next_link + 1;
+  Hashtbl.replace na.ports pa link;
+  Hashtbl.replace nb.ports pb link;
+  g.all_links <- link :: g.all_links;
+  (pa, pb)
+
+let disconnect g link =
+  Hashtbl.remove (get g link.a).ports link.a_port;
+  Hashtbl.remove (get g link.b).ports link.b_port;
+  g.all_links <- List.filter (fun l -> l.link_id <> link.link_id) g.all_links
+
+let link_via g id p = Hashtbl.find_opt (get g id).ports p
+
+let peer link n =
+  if n = link.a then (link.b, link.b_port)
+  else if n = link.b then (link.a, link.a_port)
+  else invalid_arg "Graph.peer"
+
+let ports g id =
+  Hashtbl.fold (fun p l acc -> (p, l) :: acc) (get g id).ports []
+  |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+
+let degree g id = Hashtbl.length (get g id).ports
+let links g = List.rev g.all_links
+let iter_nodes g f = for id = 0 to g.n - 1 do f id done
+
+type hop = { at : node_id; out : port }
+
+let route_nodes g ~src hops =
+  let rec walk node = function
+    | [] -> [ node ]
+    | { at; out } :: rest ->
+      if at <> node then failwith "Graph.route_nodes: route does not chain";
+      (match link_via g at out with
+      | None -> failwith "Graph.route_nodes: hop over missing link"
+      | Some l ->
+        let next, _ = peer l at in
+        node :: walk next rest)
+  in
+  walk src hops
+
+(* Dijkstra with a simple heap keyed on float cost. *)
+let shortest_path_excluding g ~metric ~src ~dst ~banned_links ~banned_nodes =
+  let n = g.n in
+  let dist = Array.make n infinity in
+  let prev = Array.make n None in
+  (* prev.(v) = Some (u, port at u) *)
+  let visited = Array.make n false in
+  let heap = Sim.Heap.create () in
+  let seq = ref 0 in
+  let push cost v =
+    (* Scale float cost into int key; ns-scale costs fit easily. *)
+    Sim.Heap.push heap ~time:(int_of_float (cost *. 1e6)) ~seq:!seq (cost, v);
+    incr seq
+  in
+  dist.(src) <- 0.0;
+  push 0.0 src;
+  let finished = ref false in
+  while not !finished do
+    match Sim.Heap.pop heap with
+    | None -> finished := true
+    | Some (_, _, (cost, u)) ->
+      if (not visited.(u)) && cost <= dist.(u) then begin
+        visited.(u) <- true;
+        if u = dst then finished := true
+        else
+          Hashtbl.iter
+            (fun p l ->
+              if not (List.mem l.link_id banned_links) then begin
+                let v, _ = peer l u in
+                if (not (List.mem v banned_nodes)) && not visited.(v) then begin
+                  let w = metric l in
+                  if w <= 0.0 then invalid_arg "Graph: metric must be positive";
+                  let alt = dist.(u) +. w in
+                  if alt < dist.(v) then begin
+                    dist.(v) <- alt;
+                    prev.(v) <- Some (u, p);
+                    push alt v
+                  end
+                end
+              end)
+            (get g u).ports
+      end
+  done;
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build v acc =
+      match prev.(v) with
+      | None -> acc
+      | Some (u, p) -> build u ({ at = u; out = p } :: acc)
+    in
+    Some (build dst [])
+  end
+
+let shortest_path g ~metric ~src ~dst =
+  if src = dst then Some []
+  else shortest_path_excluding g ~metric ~src ~dst ~banned_links:[] ~banned_nodes:[]
+
+let path_cost g ~metric hops =
+  List.fold_left
+    (fun acc { at; out } ->
+      match link_via g at out with
+      | None -> infinity
+      | Some l -> acc +. metric l)
+    0.0 hops
+
+(* Yen's k-shortest loop-free paths. *)
+let k_shortest_paths g ~metric ~src ~dst ~k =
+  if k <= 0 then []
+  else
+    match shortest_path g ~metric ~src ~dst with
+    | None -> []
+    | Some first ->
+      let accepted = ref [ first ] in
+      let candidates = ref [] in
+      let path_eq p q =
+        List.length p = List.length q
+        && List.for_all2 (fun h1 h2 -> h1.at = h2.at && h1.out = h2.out) p q
+      in
+      let rec take_prefix n l =
+        if n = 0 then []
+        else match l with [] -> [] | x :: rest -> x :: take_prefix (n - 1) rest
+      in
+      let round () =
+        let last = List.hd !accepted in
+        List.iteri
+          (fun i spur_hop ->
+            let root = take_prefix i last in
+            let spur_node = spur_hop.at in
+            (* Ban links used by accepted paths sharing this root, and the
+               nodes of the root (except the spur node) to keep loop-free. *)
+            let banned_links =
+              List.filter_map
+                (fun p ->
+                  if path_eq (take_prefix i p) root then
+                    match List.nth_opt p i with
+                    | Some h -> (
+                      match link_via g h.at h.out with
+                      | Some l -> Some l.link_id
+                      | None -> None)
+                    | None -> None
+                  else None)
+                (!accepted @ List.map snd !candidates)
+            in
+            let banned_nodes =
+              List.filter (fun n -> n <> spur_node) (route_nodes g ~src root)
+            in
+            match
+              shortest_path_excluding g ~metric ~src:spur_node ~dst ~banned_links
+                ~banned_nodes
+            with
+            | None -> ()
+            | Some spur ->
+              let candidate = root @ spur in
+              let cost = path_cost g ~metric candidate in
+              let dominated =
+                List.exists (fun (_, p) -> path_eq p candidate) !candidates
+                || List.exists (fun p -> path_eq p candidate) !accepted
+              in
+              if not dominated then candidates := (cost, candidate) :: !candidates)
+          last
+      in
+      let continue = ref true in
+      while List.length !accepted < k && !continue do
+        round ();
+        match List.sort (fun (c1, _) (c2, _) -> compare c1 c2) !candidates with
+        | [] -> continue := false
+        | (_, best) :: rest ->
+          accepted := best :: !accepted;
+          candidates := rest
+      done;
+      List.rev !accepted
+
+(* Builders *)
+
+let default_props =
+  { bandwidth_bps = 10_000_000; propagation = Sim.Time.us 5; mtu = 1500 }
+
+let line ?(props = default_props) n =
+  if n <= 0 then invalid_arg "Graph.line";
+  let g = create () in
+  let ids = Array.init n (fun _ -> add_node g Router) in
+  for i = 0 to n - 2 do
+    ignore (connect g ids.(i) ids.(i + 1) props)
+  done;
+  (g, ids)
+
+let star ?(props = default_props) n =
+  let g = create () in
+  let hub = add_node g Router in
+  let leaves =
+    Array.init n (fun _ ->
+        let h = add_node g Host in
+        ignore (connect g hub h props);
+        h)
+  in
+  (g, hub, leaves)
+
+let dumbbell ?(access = default_props)
+    ?(trunk = { default_props with bandwidth_bps = 1_500_000 }) n =
+  let g = create () in
+  let r1 = add_node g Router and r2 = add_node g Router in
+  ignore (connect g r1 r2 trunk);
+  let left =
+    Array.init n (fun _ ->
+        let h = add_node g Host in
+        ignore (connect g h r1 access);
+        h)
+  in
+  let right =
+    Array.init n (fun _ ->
+        let h = add_node g Host in
+        ignore (connect g h r2 access);
+        h)
+  in
+  (g, left, right)
+
+let hierarchical_switch ?(props = default_props) g ~leaves =
+  if leaves <= 0 then invalid_arg "Graph.hierarchical_switch";
+  (* Reserve a few root ports for the switch's own uplinks. *)
+  let fan_limit = 250 in
+  let root = add_node g Router in
+  let rec grow parents remaining =
+    (* [parents] are routers with free ports; attach up to fan_limit
+       children to each until [remaining] leaves exist. *)
+    if remaining <= 0 then []
+    else begin
+      let stages = List.length parents * fan_limit in
+      if remaining <= stages then begin
+        (* final stage: children are the leaves *)
+        let rec attach parents made =
+          if made >= remaining then []
+          else
+            match parents with
+            | [] -> []
+            | parent :: rest ->
+              let take = min fan_limit (remaining - made) in
+              let children =
+                List.init take (fun _ ->
+                    let c = add_node g Router in
+                    ignore (connect g parent c props);
+                    c)
+              in
+              children @ attach rest (made + take)
+        in
+        attach parents 0
+      end
+      else begin
+        (* intermediate stage: fill every parent, recurse *)
+        let next =
+          List.concat_map
+            (fun parent ->
+              List.init fan_limit (fun _ ->
+                  let c = add_node g Router in
+                  ignore (connect g parent c props);
+                  c))
+            parents
+        in
+        grow next remaining
+      end
+    end
+  in
+  let leaf_list = grow [ root ] leaves in
+  (root, Array.of_list leaf_list)
+
+let campus_internet ~rng ~campuses ~hosts_per_campus =
+  if campuses < 2 then invalid_arg "Graph.campus_internet";
+  let g = create () in
+  let routers =
+    Array.init campuses (fun i ->
+        add_node g ~name:(Printf.sprintf "campus%d" i) Router)
+  in
+  let trunk_props () =
+    {
+      bandwidth_bps = 45_000_000;
+      propagation = Sim.Time.us (500 + Sim.Rng.int rng 4500);
+      mtu = 1500;
+    }
+  in
+  for i = 0 to campuses - 1 do
+    ignore (connect g routers.(i) routers.((i + 1) mod campuses) (trunk_props ()))
+  done;
+  (* A couple of chords for path diversity on larger rings. *)
+  if campuses >= 6 then begin
+    ignore (connect g routers.(0) routers.(campuses / 2) (trunk_props ()));
+    ignore (connect g routers.(1) routers.((campuses / 2) + 1) (trunk_props ()))
+  end;
+  let local = { default_props with propagation = Sim.Time.us 5 } in
+  let hosts =
+    Array.init
+      (campuses * hosts_per_campus)
+      (fun i ->
+        let c = i mod campuses in
+        let h = add_node g ~name:(Printf.sprintf "host%d.campus%d" i c) Host in
+        ignore (connect g routers.(c) h local);
+        h)
+  in
+  (g, routers, hosts)

@@ -1,0 +1,124 @@
+(** Internetwork topology: nodes with numbered ports joined by links.
+
+    Port numbering follows VIPER (§5 of the paper): port 0 means "local
+    delivery", so real ports are numbered from 1 and a node has at most 255
+    ports — larger fan-outs must be built as a hierarchy of nodes, exactly
+    as the paper prescribes. *)
+
+type node_id = int
+type port = int
+
+type node_kind = Host | Router
+
+type link_props = {
+  bandwidth_bps : int;  (** link data rate, bits per second *)
+  propagation : Sim.Time.t;  (** one-way propagation delay *)
+  mtu : int;  (** maximum frame payload carried, bytes *)
+}
+
+type link = {
+  link_id : int;
+  a : node_id;
+  a_port : port;
+  b : node_id;
+  b_port : port;
+  props : link_props;
+}
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> ?name:string -> node_kind -> node_id
+(** Node ids are dense, starting at 0. *)
+
+val node_count : t -> int
+val kind : t -> node_id -> node_kind
+val name : t -> node_id -> string
+(** Defaults to ["h<id>"] or ["r<id>"]. *)
+
+val find_by_name : t -> string -> node_id option
+
+val connect : t -> node_id -> node_id -> link_props -> port * port
+(** [connect g a b props] joins [a] and [b] with a new link, assigning the
+    next free port (from 1) on each side; returns [(a_port, b_port)].
+    Raises [Failure] if either node already has 255 ports. *)
+
+val disconnect : t -> link -> unit
+(** Remove a link (models link failure at the topology level). The ports it
+    used are not reassigned. *)
+
+val link_via : t -> node_id -> port -> link option
+(** The link attached to this node's port, if any. *)
+
+val peer : link -> node_id -> node_id * port
+(** [peer l n] is the other endpoint [(node, its port)]. Raises
+    [Invalid_argument] if [n] is on neither side. *)
+
+val ports : t -> node_id -> (port * link) list
+(** All connected ports of a node, ascending port order. *)
+
+val degree : t -> node_id -> int
+val links : t -> link list
+val iter_nodes : t -> (node_id -> unit) -> unit
+
+(** {1 Paths}
+
+    A route is the list of [(node, out_port)] pairs a packet follows,
+    starting at the source node; the destination is the peer of the last
+    hop. This is exactly the information a Sirpent source route needs. *)
+
+type hop = { at : node_id; out : port }
+
+val route_nodes : t -> src:node_id -> hop list -> node_id list
+(** Expand a route to the node sequence [src; ...; dst] it visits.
+    Raises [Failure] if a hop's port is not connected. *)
+
+val shortest_path :
+  t -> metric:(link -> float) -> src:node_id -> dst:node_id -> hop list option
+(** Dijkstra. [None] if unreachable; [[]] if [src = dst]. The metric must
+    be positive. *)
+
+val k_shortest_paths :
+  t -> metric:(link -> float) -> src:node_id -> dst:node_id -> k:int ->
+  hop list list
+(** Yen's algorithm: up to [k] loop-free paths in nondecreasing metric
+    order. *)
+
+val path_cost : t -> metric:(link -> float) -> hop list -> float
+
+(** {1 Builders} *)
+
+val line : ?props:link_props -> int -> t * node_id array
+(** [line n] is [n] routers in a chain. *)
+
+val star : ?props:link_props -> int -> t * node_id * node_id array
+(** [star n] is a hub router and [n] leaf hosts; returns
+    [(g, hub, leaves)]. *)
+
+val dumbbell :
+  ?access:link_props -> ?trunk:link_props -> int -> t * node_id array * node_id array
+(** [dumbbell n] is [n] hosts on each side of a two-router bottleneck
+    trunk; returns [(g, left_hosts, right_hosts)]. *)
+
+val default_props : link_props
+(** 10 Mb/s, 5 us propagation, 1500 B MTU — classic Ethernet-era values. *)
+
+val hierarchical_switch :
+  ?props:link_props -> t -> leaves:int -> node_id * node_id array
+(** §5 of the paper: "We require that larger fan-out switches be
+    structured hierarchically as a series of switches, each with a fan-out
+    of at most 255." Builds a tree of routers inside [t] whose root
+    presents the given number of [leaves] attachment routers (each with
+    ports free for hosts/links), splitting any stage whose fan-out would
+    exceed the 255-port VIPER limit. Returns [(root, leaf_routers)].
+    "The hierarchically structuring ... imposes no significant additional
+    delay given the use of cut-through routing at each stage." *)
+
+val campus_internet :
+  rng:Sim.Rng.t -> campuses:int -> hosts_per_campus:int -> t * node_id array * node_id array
+(** A hierarchical internetwork: a wide-area transit ring of one router per
+    campus (45 Mb/s trunks), each campus router serving a local star of
+    hosts (10 Mb/s). Returns [(g, campus_routers, hosts)]. Host [i] is on
+    campus [i mod campuses]. The [rng] perturbs trunk propagation delays so
+    route costs are not degenerate. *)

@@ -1,0 +1,1 @@
+lib/viper/multicast.ml: Bytes List Segment Token Wire

@@ -1,0 +1,1 @@
+lib/viper/multicast.mli: Segment Token

@@ -1,0 +1,1 @@
+lib/viper/packet.ml: Bytes List Segment Trailer Wire

@@ -1,0 +1,1 @@
+lib/viper/packet.mli: Segment Trailer

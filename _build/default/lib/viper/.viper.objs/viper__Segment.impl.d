@@ -1,0 +1,1 @@
+lib/viper/segment.ml: Bytes Char Format Token Wire

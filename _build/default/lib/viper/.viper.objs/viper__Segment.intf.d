@@ -1,0 +1,1 @@
+lib/viper/segment.mli: Format Token Wire

@@ -1,0 +1,1 @@
+lib/viper/trailer.mli: Segment

@@ -1,0 +1,26 @@
+(** Tree-structured multicast routes (§2, second mechanism; after
+    Blazenet).
+
+    "Effectively, there are multiple header segments specified for a
+    routing point, with each header segment causing a copy of the packet to
+    be routed according to the port it specifies." We reserve VIPER port
+    254 for a tree point; its portInfo encodes the branch routes:
+
+    {v branches := count:u8 (len:u16 segment-bytes)* v}
+
+    Each branch is a complete remaining route for one copy. *)
+
+val tree_port : int
+(** 254. *)
+
+val encode_branches : Segment.t list list -> bytes
+(** Raises [Invalid_argument] on 0 or more than 255 branches, an empty
+    branch, or a branch over 65535 bytes. VNT flags inside each branch are
+    normalized. *)
+
+val decode_branches : bytes -> Segment.t list list
+(** Raises [Invalid_argument] / [Wire.Buf.Underflow] on malformed input. *)
+
+val tree_segment :
+  ?priority:Token.Priority.t -> branches:Segment.t list list -> unit -> Segment.t
+(** A header segment that splits the packet into the given branches. *)

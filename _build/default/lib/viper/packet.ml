@@ -1,0 +1,119 @@
+type t = {
+  route : Segment.t list;
+  data : bytes;
+  trailer : Trailer.entry list;
+}
+
+let truncated t =
+  List.exists (function Trailer.Truncated -> true | Trailer.Hop _ -> false) t.trailer
+
+let max_transmission_unit = 1500
+let max_route_segments = 48
+
+let normalize_vnt route =
+  let n = List.length route in
+  List.mapi
+    (fun i seg ->
+      let vnt = i < n - 1 in
+      { seg with Segment.flags = { seg.Segment.flags with Segment.vnt } })
+    route
+
+let build ~route ~data =
+  if route = [] then invalid_arg "Packet.build: empty route";
+  if List.length route > max_route_segments then
+    invalid_arg "Packet.build: route too long";
+  let route = normalize_vnt route in
+  let size =
+    List.fold_left (fun acc s -> acc + Segment.encoded_size s) 0 route
+    + Bytes.length data + 2
+  in
+  let w = Wire.Buf.create_writer size in
+  List.iter (Segment.write w) route;
+  Wire.Buf.put_bytes w data;
+  Wire.Buf.put_bytes w Trailer.empty;
+  Wire.Buf.contents w
+
+let read_route r =
+  let rec go acc =
+    let seg = Segment.read r in
+    if seg.Segment.flags.Segment.vnt then go (seg :: acc)
+    else List.rev (seg :: acc)
+  in
+  go []
+
+let decode bytes =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let route = read_route r in
+  let rest_start = Wire.Buf.position r in
+  let trailer_size = Trailer.size bytes in
+  let data_len = Bytes.length bytes - rest_start - trailer_size in
+  if data_len < 0 then invalid_arg "Packet.decode: overlapping trailer";
+  let data = Wire.Buf.get_bytes r data_len in
+  let trailer = Trailer.entries bytes in
+  { route; data; trailer }
+
+let encode t =
+  if t.route = [] then invalid_arg "Packet.encode: empty route";
+  let w = Wire.Buf.create_writer 256 in
+  List.iter (Segment.write w) t.route;
+  Wire.Buf.put_bytes w t.data;
+  let base = Wire.Buf.contents w in
+  let with_trailer =
+    List.fold_left
+      (fun acc entry ->
+        match entry with
+        | Trailer.Hop seg -> Trailer.append_hop acc seg
+        | Trailer.Truncated -> Trailer.append_truncation_marker acc)
+      (Bytes.cat base Trailer.empty)
+      t.trailer
+  in
+  with_trailer
+
+let strip_leading bytes =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let seg = Segment.read r in
+  (seg, Wire.Buf.take_rest r)
+
+let forward bytes ~return_seg =
+  let seg, rest = strip_leading bytes in
+  (seg, Trailer.append_hop rest return_seg)
+
+let truncate_to bytes ~max =
+  if max < 0 then invalid_arg "Packet.truncate_to";
+  if Bytes.length bytes <= max then bytes
+  else begin
+    let kept = Bytes.sub bytes 0 max in
+    Trailer.append_truncation_marker (Bytes.cat kept Trailer.empty)
+  end
+
+let return_route t =
+  if truncated t then failwith "Packet.return_route: packet was truncated";
+  let hops =
+    List.filter_map
+      (function Trailer.Hop s -> Some s | Trailer.Truncated -> None)
+      t.trailer
+  in
+  let reversed =
+    List.rev_map
+      (fun seg ->
+        { seg with Segment.flags = { seg.Segment.flags with Segment.rpf = true } })
+      hops
+  in
+  normalize_vnt reversed
+
+let peek_ports bytes =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let s1 = Segment.read r in
+  if s1.Segment.flags.Segment.vnt then begin
+    let s2 = Segment.read r in
+    (s1.Segment.port, Some s2.Segment.port)
+  end
+  else (s1.Segment.port, None)
+
+let header_bytes bytes =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let seg = Segment.read r in
+  Segment.encoded_size seg
+
+let total_header_overhead ~route =
+  List.fold_left (fun acc s -> acc + Segment.encoded_size s) 0 route

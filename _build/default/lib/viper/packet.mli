@@ -1,0 +1,72 @@
+(** Whole-packet assembly and the per-hop byte operations of §2.
+
+    A Sirpent packet on the wire is
+
+    {v  [seg_1] ... [seg_k]  [data]  [trailer]  v}
+
+    where [seg_i] has the VNT flag set for i < k (another VIPER segment
+    follows) and [seg_k] addresses final delivery. Routers strip [seg_1],
+    move a revised copy onto the trailer, and forward; the receiver builds
+    the return route from the trailer with no routing knowledge. *)
+
+type t = {
+  route : Segment.t list;  (** remaining header segments, first hop first; non-empty *)
+  data : bytes;
+  trailer : Trailer.entry list;  (** appended order: first hop first *)
+}
+
+val truncated : t -> bool
+(** The trailer records that a router truncated this packet. *)
+
+val max_transmission_unit : int
+(** 1500 bytes — "The VIPER transmission unit is 1500 bytes" (§5). *)
+
+val max_route_segments : int
+(** 48 — §2.3's worked scaling example. *)
+
+val build : route:Segment.t list -> data:bytes -> bytes
+(** Encode a fresh packet (empty trailer). VNT flags are normalized: set on
+    every segment except the last. Raises [Invalid_argument] on an empty
+    route or more than {!max_route_segments} segments. *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] / [Wire.Buf.Underflow] on malformed bytes. *)
+
+val encode : t -> bytes
+(** Inverse of {!decode} (for tests; routers use the byte-level ops). *)
+
+val strip_leading : bytes -> Segment.t * bytes
+(** [(seg, rest)] where [rest] is the packet without its first header
+    segment — the router's loopback-register step. *)
+
+val forward : bytes -> return_seg:Segment.t -> Segment.t * bytes
+(** The complete per-hop operation: strip the leading segment, append
+    [return_seg] to the trailer, and return [(stripped, forwarded_bytes)].
+    [return_seg] is the stripped segment revised by the caller (return
+    port, swapped network info, RPF set). *)
+
+val truncate_to : bytes -> max:int -> bytes
+(** Model of cut-through truncation at an MTU boundary: keep the first
+    [max] bytes (discarding any partial trailer) and append a fresh
+    trailer holding only the truncation marker, so the receiver detects
+    the loss "even when it only affects the packet trailer" (§2). *)
+
+val return_route : t -> Segment.t list
+(** The route a reply should carry: trailer hops in reverse order of
+    traversal, RPF set, VNT normalized. Raises [Failure] if the packet was
+    truncated (the return route is incomplete). *)
+
+val peek_ports : bytes -> int * int option
+(** [(p1, p2)]: the leading segment's port and, when another VIPER segment
+    follows, that segment's port. Upstream routers use this to recognize
+    packets "destined for this queue" when applying rate-control feedback
+    (§2.2) — the source route makes the next-hop queue visible without
+    any per-flow state. *)
+
+val header_bytes : bytes -> int
+(** Size of the leading header segment — the bytes a cut-through switch
+    must receive before forwarding can begin. *)
+
+val total_header_overhead : route:Segment.t list -> int
+(** Sum of encoded segment sizes: the source-routing header cost used by
+    the E4/E5 overhead experiments. *)

@@ -1,0 +1,98 @@
+type flags = { vnt : bool; dib : bool; rpf : bool }
+
+type t = {
+  port : int;
+  flags : flags;
+  priority : Token.Priority.t;
+  token : bytes;
+  info : bytes;
+}
+
+let no_flags = { vnt = false; dib = false; rpf = false }
+
+let local_port = 0
+let broadcast_port = 255
+let multicast_port_first = 240
+let is_multicast_port p = p >= multicast_port_first && p <= broadcast_port
+
+let fixed_size = 4
+let extended = 255
+let max_field = 65535
+
+let make ?(flags = no_flags) ?(priority = Token.Priority.normal) ?(token = Bytes.empty)
+    ?(info = Bytes.empty) ~port () =
+  if port < 0 || port > 255 then invalid_arg "Segment.make: port";
+  if not (Token.Priority.valid priority) then invalid_arg "Segment.make: priority";
+  if Bytes.length token > max_field then invalid_arg "Segment.make: token too long";
+  if Bytes.length info > max_field then invalid_arg "Segment.make: info too long";
+  { port; flags; priority; token; info }
+
+let field_wire_size b =
+  let n = Bytes.length b in
+  if n < extended then n else n + 4
+
+let encoded_size t = fixed_size + field_wire_size t.token + field_wire_size t.info
+
+let flags_bits f =
+  (if f.vnt then 0x8 else 0) lor (if f.dib then 0x4 else 0) lor (if f.rpf then 0x2 else 0)
+
+let flags_of_bits b =
+  { vnt = b land 0x8 <> 0; dib = b land 0x4 <> 0; rpf = b land 0x2 <> 0 }
+
+let length_byte b =
+  let n = Bytes.length b in
+  if n < extended then n else extended
+
+let write_field w b =
+  if Bytes.length b >= extended then Wire.Buf.put_u32_int w (Bytes.length b);
+  Wire.Buf.put_bytes w b
+
+let write w t =
+  Wire.Buf.put_u8 w (length_byte t.info);
+  Wire.Buf.put_u8 w (length_byte t.token);
+  Wire.Buf.put_u8 w t.port;
+  Wire.Buf.put_u8 w ((flags_bits t.flags lsl 4) lor (t.priority land 0xF));
+  write_field w t.token;
+  write_field w t.info
+
+let read_field r len_byte =
+  if len_byte < extended then Wire.Buf.get_bytes r len_byte
+  else begin
+    let n = Wire.Buf.get_u32_int r in
+    Wire.Buf.get_bytes r n
+  end
+
+let read r =
+  let info_len = Wire.Buf.get_u8 r in
+  let token_len = Wire.Buf.get_u8 r in
+  let port = Wire.Buf.get_u8 r in
+  let fp = Wire.Buf.get_u8 r in
+  let flags = flags_of_bits (fp lsr 4) in
+  let priority = fp land 0xF in
+  let token = read_field r token_len in
+  let info = read_field r info_len in
+  { port; flags; priority; token; info }
+
+let encode t =
+  let w = Wire.Buf.create_writer (encoded_size t) in
+  write w t;
+  Wire.Buf.contents w
+
+let decode b =
+  let r = Wire.Buf.reader_of_bytes b in
+  let t = read r in
+  if Wire.Buf.remaining r <> 0 then invalid_arg "Segment.decode: trailing bytes";
+  t
+
+let peek_port b ~off = Char.code (Bytes.get b (off + 2))
+
+let equal a b =
+  a.port = b.port && a.flags = b.flags && a.priority = b.priority
+  && Bytes.equal a.token b.token && Bytes.equal a.info b.info
+
+let pp fmt t =
+  Format.fprintf fmt "@[seg{port=%d%s%s%s prio=%X tok=%dB info=%dB}@]" t.port
+    (if t.flags.vnt then " VNT" else "")
+    (if t.flags.dib then " DIB" else "")
+    (if t.flags.rpf then " RPF" else "")
+    t.priority (Bytes.length t.token) (Bytes.length t.info)

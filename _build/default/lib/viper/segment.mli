@@ -1,0 +1,85 @@
+(** VIPER header segment — byte-exact implementation of Figure 1:
+
+    {v
+     0                   1
+     0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5
+    +---------------+---------------+
+    |PortInfoLength |PortTokenLength|
+    +---------------+---------------+
+    |     Port      | Flags |Priori.|
+    +---------------+---------------+
+    >          Port Token           <
+    +-------------------------------+
+    >          Port Info            <
+    +-------------------------------+
+    v}
+
+    The fixed 4-byte prefix carries both variable-field lengths first, "as
+    far in advance as possible of the variable-length portion arriving,
+    allowing for hardware setup times" (§5). A length byte of 255 means the
+    true length is in the 32 bits at the start of the field. The minimum
+    segment is 4 bytes. *)
+
+type flags = {
+  vnt : bool;
+      (** VIPER Next Type: portInfo is void and another VIPER segment
+          follows this one. *)
+  dib : bool;  (** Drop If Blocked. *)
+  rpf : bool;
+      (** Reverse Path Forwarding: the packet is returning over a route
+          supplied in a received packet's trailer. *)
+}
+
+type t = {
+  port : int;  (** output port at the router this segment addresses; 0 = local *)
+  flags : flags;
+  priority : Token.Priority.t;
+  token : bytes;  (** port token; empty = absent *)
+  info : bytes;  (** network-specific portInfo; empty = void *)
+}
+
+val no_flags : flags
+
+val make :
+  ?flags:flags -> ?priority:Token.Priority.t -> ?token:bytes -> ?info:bytes ->
+  port:int -> unit -> t
+(** Raises [Invalid_argument] for a port outside 0-255, an invalid
+    priority, or a field longer than {!max_field}. *)
+
+val local_port : int
+(** 0 — "reserving 0 as a special port value meaning 'local'" (§5). *)
+
+val broadcast_port : int
+(** 255: we reserve the top port value to mean "all ports" (§2,
+    multicast mechanism 1). Ordinary ports are 1-239. *)
+
+val multicast_port_first : int
+(** 240. Ports 240-254 name router-configured port groups. *)
+
+val is_multicast_port : int -> bool
+(** True for 240-255. *)
+
+val fixed_size : int
+(** 4 bytes. *)
+
+val max_field : int
+(** Largest token/info field supported (65535 bytes, using extended
+    lengths). *)
+
+val encoded_size : t -> int
+
+val write : Wire.Buf.writer -> t -> unit
+val read : Wire.Buf.reader -> t
+(** Raises [Wire.Buf.Underflow] on truncated input. *)
+
+val encode : t -> bytes
+val decode : bytes -> t
+(** [decode] requires the buffer to contain exactly one segment. *)
+
+val peek_port : bytes -> off:int -> int
+(** The port field without a full parse — the field order exists precisely
+    so "the router can make the switching decision while the
+    typeOfService, portToken and portInfo fields are being received". *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

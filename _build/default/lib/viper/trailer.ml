@@ -1,0 +1,68 @@
+type entry = Hop of Segment.t | Truncated
+
+let marker = 0xFFFF
+let max_entry = 0xFFFE
+
+let empty = Bytes.make 2 '\000'
+
+let read_u16_at b off =
+  if off < 0 || off + 2 > Bytes.length b then
+    invalid_arg "Trailer: malformed (short)";
+  Bytes.get_uint16_be b off
+
+let total_of b = read_u16_at b (Bytes.length b - 2)
+
+let size packet =
+  let total = total_of packet in
+  let sz = total + 2 in
+  if sz > Bytes.length packet then invalid_arg "Trailer: total exceeds packet";
+  sz
+
+let entries packet =
+  let stop = Bytes.length packet - 2 in
+  let start = stop - total_of packet in
+  if start < 0 then invalid_arg "Trailer: total exceeds packet";
+  (* Walk backwards through trailing length fields, accumulating in
+     appended order. *)
+  let rec walk pos acc =
+    if pos = start then acc
+    else begin
+      let len = read_u16_at packet (pos - 2) in
+      if len = marker then walk (pos - 2) (Truncated :: acc)
+      else begin
+        let seg_start = pos - 2 - len in
+        if seg_start < start then invalid_arg "Trailer: entry exceeds trailer";
+        let seg =
+          Segment.decode (Bytes.sub packet seg_start len)
+        in
+        walk seg_start (Hop seg :: acc)
+      end
+    end
+  in
+  walk stop []
+
+let with_appended packet extra_entry_bytes =
+  let old_total = total_of packet in
+  let body = Bytes.length packet - 2 in
+  let added = Bytes.length extra_entry_bytes in
+  let new_total = old_total + added in
+  if new_total > 0xFFFF then invalid_arg "Trailer: overflow";
+  let out = Bytes.create (Bytes.length packet + added) in
+  Bytes.blit packet 0 out 0 body;
+  Bytes.blit extra_entry_bytes 0 out body added;
+  Bytes.set_uint16_be out (body + added) new_total;
+  out
+
+let append_hop packet seg =
+  let seg_bytes = Segment.encode seg in
+  let len = Bytes.length seg_bytes in
+  if len > max_entry then invalid_arg "Trailer.append_hop: segment too large";
+  let w = Wire.Buf.create_writer (len + 2) in
+  Wire.Buf.put_bytes w seg_bytes;
+  Wire.Buf.put_u16 w len;
+  with_appended packet (Wire.Buf.contents w)
+
+let append_truncation_marker packet =
+  let w = Wire.Buf.create_writer 2 in
+  Wire.Buf.put_u16 w marker;
+  with_appended packet (Wire.Buf.contents w)

@@ -1,0 +1,44 @@
+(** The Sirpent packet trailer.
+
+    As a packet traverses the internetwork, each router moves its (revised)
+    header segment to the end of the packet, so the trailer accumulates a
+    return route (§2). The paper notes a length field per moved segment
+    "allowing network-independent manipulation of the header/trailer
+    segments"; the exact trailer framing is left open, so this repo fixes
+    it as:
+
+    {v
+      trailer      := entry* total:u16
+      entry        := segment-bytes len:u16     (len = |segment-bytes|)
+      trunc-marker := len:u16 = 0xFFFF          (no segment bytes)
+    v}
+
+    [total] counts every entry byte (excluding itself), so the trailer is
+    found from the packet end without knowing the hop count, and entries
+    are walked backwards through their trailing length fields — exactly
+    the network-independent reversal §2 requires. The 0xFFFF marker is the
+    "special segment ... which is not a legal Sirpent header segment"
+    appended when a router truncates an over-MTU packet. *)
+
+type entry = Hop of Segment.t | Truncated
+
+val empty : bytes
+(** The 2-byte trailer of a freshly built packet (total = 0). *)
+
+val size : bytes -> int
+(** Total trailer size in bytes (entries + the 2-byte total field) of the
+    trailer at the end of [packet]. Raises [Invalid_argument] if the bytes
+    do not end in a well-formed trailer. *)
+
+val entries : bytes -> entry list
+(** Entries of the trailer ending [packet], in the order appended
+    (first hop first). *)
+
+val append_hop : bytes -> Segment.t -> bytes
+(** [append_hop packet seg] is the packet with [seg] moved onto the end of
+    the trailer and the total updated — the per-router loopback operation. *)
+
+val append_truncation_marker : bytes -> bytes
+
+val max_entry : int
+(** Largest legal entry segment (0xFFFE bytes); larger raises. *)

@@ -1,0 +1,1 @@
+lib/vmtp/entity.ml: Array Bytes Hashtbl Int32 Int64 List Mpl Netsim Option Sim Sirpent Token Topo Viper Wire_format

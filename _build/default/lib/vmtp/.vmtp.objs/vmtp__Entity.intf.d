@@ -1,0 +1,1 @@
+lib/vmtp/entity.mli: Sim Sirpent Token

@@ -1,0 +1,1 @@
+lib/vmtp/mpl.ml:

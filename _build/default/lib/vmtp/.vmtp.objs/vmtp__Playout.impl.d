@@ -1,0 +1,1 @@
+lib/vmtp/playout.ml: Sim

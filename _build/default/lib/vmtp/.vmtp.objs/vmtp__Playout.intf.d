@@ -1,0 +1,1 @@
+lib/vmtp/playout.mli: Sim

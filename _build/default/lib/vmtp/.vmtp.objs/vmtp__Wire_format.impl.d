@@ -1,0 +1,1 @@
+lib/vmtp/wire_format.ml: Bytes Int32 Ipbase List Wire

@@ -1,0 +1,1 @@
+lib/vmtp/wire_format.mli:

@@ -1,0 +1,529 @@
+module W = Netsim.World
+module Wf = Wire_format
+
+type config = {
+  segment_bytes : int;
+  retransmit_timeout : Sim.Time.t;
+  max_retries : int;
+  gap_timeout : Sim.Time.t;
+  response_hold : Sim.Time.t;
+  mpl_ms : int;
+  skew_allowance_ms : int;
+  clock_skew_ms : int;
+  pace_bps : int;
+}
+
+let default_config =
+  {
+    segment_bytes = 1024;
+    retransmit_timeout = Sim.Time.ms 100;
+    max_retries = 3;
+    gap_timeout = Sim.Time.ms 20;
+    response_hold = Sim.Time.s 5;
+    mpl_ms = 30_000;
+    skew_allowance_ms = 2_000;
+    clock_skew_ms = 0;
+    pace_bps = 0;
+  }
+
+type stats = {
+  packets_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  rejected_checksum : int;
+  rejected_entity : int;
+  rejected_old : int;
+  duplicate_requests : int;
+  route_switches : int;
+  calls_completed : int;
+  calls_failed : int;
+}
+
+(* Reassembly of one incoming packet group. *)
+type partial = {
+  mutable chunks : bytes option array;
+  mutable mask : int32;
+  mutable group_size : int;
+  mutable sample : (Viper.Packet.t * Topo.Graph.port) option;
+      (** a received packet + arrival port: source of the return route *)
+  mutable gap_timer : Sim.Engine.handle option;
+}
+
+type call = {
+  txn : int;
+  server : int64;
+  routes : Sirpent.Route.t array;
+  mutable route_idx : int;
+  priority : Token.Priority.t;
+  request_packets : bytes array;  (** encoded transport packets, stable *)
+  mutable request_acked : int32;
+  mutable retries : int;
+  mutable timer : Sim.Engine.handle option;
+  response : partial;
+  started : Sim.Time.t;
+  on_reply : bytes -> rtt:Sim.Time.t -> unit;
+  on_fail : string -> unit;
+  mutable finished : bool;
+}
+
+type held_response = {
+  resp_packets : bytes array;
+  via : Viper.Packet.t * Topo.Graph.port;
+  mutable expires : Sim.Time.t;
+}
+
+type t = {
+  host : Sirpent.Host.t;
+  config : config;
+  id : int64;
+  boot_ms : int;
+  mutable next_txn : int;
+  calls : (int, call) Hashtbl.t;  (* txn -> call *)
+  partials : (int64 * int, partial) Hashtbl.t;  (* (client, txn) -> request *)
+  held : (int64 * int, held_response) Hashtbl.t;
+  mutable handler : (t -> data:bytes -> reply:(bytes -> unit) -> unit) option;
+  mutable on_route_switch :
+    (failed:Sirpent.Route.t -> route_index:int -> unit) option;
+  mutable srtt : Sim.Time.t option;
+  (* stats *)
+  mutable packets_sent : int;
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable rejected_checksum : int;
+  mutable rejected_entity : int;
+  mutable rejected_old : int;
+  mutable duplicate_requests : int;
+  mutable route_switches : int;
+  mutable calls_completed : int;
+  mutable calls_failed : int;
+}
+
+let id t = t.id
+let host t = t.host
+
+let stats t =
+  {
+    packets_sent = t.packets_sent;
+    retransmits = t.retransmits;
+    acks_sent = t.acks_sent;
+    rejected_checksum = t.rejected_checksum;
+    rejected_entity = t.rejected_entity;
+    rejected_old = t.rejected_old;
+    duplicate_requests = t.duplicate_requests;
+    route_switches = t.route_switches;
+    calls_completed = t.calls_completed;
+    calls_failed = t.calls_failed;
+  }
+
+let rtt_estimate t = t.srtt
+let set_request_handler t f = t.handler <- Some f
+let set_route_switch_hook t f = t.on_route_switch <- Some f
+
+let world t = Sirpent.Host.world t.host
+let engine t = W.engine (world t)
+let now t = W.now (world t)
+let now_ms t = Mpl.wrap ((now t / 1_000_000) + t.config.clock_skew_ms)
+
+let schedule t ~delay f = Sim.Engine.schedule (engine t) ~delay f
+let cancel t h = Sim.Engine.cancel (engine t) h
+
+let segment_data t data =
+  let seg = t.config.segment_bytes in
+  let len = Bytes.length data in
+  let count = max 1 ((len + seg - 1) / seg) in
+  if count > Wf.max_group then invalid_arg "Vmtp: message too large for one group";
+  Array.init count (fun i ->
+      let off = i * seg in
+      Bytes.sub data off (min seg (len - off)))
+
+let assemble partial =
+  let parts = Array.to_list partial.chunks in
+  Bytes.concat Bytes.empty (List.map Option.get parts)
+
+let encode_packet t ~dst ~txn ~kind ~index ~group_size ~acks_response ~mask ~data =
+  Wf.encode
+    {
+      Wf.src_entity = t.id;
+      dst_entity = dst;
+      transaction = txn;
+      kind;
+      index;
+      group_size;
+      acks_response;
+      delivery_mask = mask;
+      timestamp_ms = (let ms = now_ms t in if ms = 0 then 1 else ms);
+      data;
+    }
+
+(* Send a group of encoded packets along a source route, paced. *)
+let send_group t ~route ~priority packets ~indices =
+  let gap_for bytes =
+    if t.config.pace_bps <= 0 then Sim.Time.ns 1
+    else Sim.Time.transmission ~bits:(8 * bytes) ~rate_bps:t.config.pace_bps
+  in
+  let rec go delay = function
+    | [] -> ()
+    | idx :: rest ->
+      let packet = packets.(idx) in
+      ignore
+        (schedule t ~delay (fun () ->
+             t.packets_sent <- t.packets_sent + 1;
+             ignore
+               (Sirpent.Host.send t.host ~route ~priority ~data:packet ())));
+      go (delay + gap_for (Bytes.length packet)) rest
+  in
+  go 0 indices
+
+(* Send one packet back over the return route of [via]. *)
+let send_via t ~via packet =
+  let sample_packet, in_port = via in
+  t.packets_sent <- t.packets_sent + 1;
+  match
+    Sirpent.Host.reply t.host ~to_packet:sample_packet ~in_port ~data:packet ()
+  with
+  | _ -> ()
+  | exception Failure _ -> ()
+
+let fresh_partial () =
+  {
+    chunks = Array.make 1 None;
+    mask = 0l;
+    group_size = 1;
+    sample = None;
+    gap_timer = None;
+  }
+
+let partial_add partial ~index ~group_size ~data ~sample =
+  if Array.length partial.chunks < group_size then begin
+    let fresh = Array.make group_size None in
+    Array.blit partial.chunks 0 fresh 0 (Array.length partial.chunks);
+    partial.chunks <- fresh
+  end;
+  partial.group_size <- max partial.group_size group_size;
+  if index < Array.length partial.chunks then partial.chunks.(index) <- Some data;
+  partial.mask <- Wf.mask_with partial.mask index;
+  partial.sample <- Some sample
+
+let partial_complete partial =
+  partial.group_size > 0
+  && Array.length partial.chunks >= partial.group_size
+  && (let complete = ref true in
+      for i = 0 to partial.group_size - 1 do
+        if partial.chunks.(i) = None then complete := false
+      done;
+      !complete)
+
+let update_rtt t sample =
+  match t.srtt with
+  | None -> t.srtt <- Some sample
+  | Some s -> t.srtt <- Some ((7 * s / 8) + (sample / 8))
+
+let rto t =
+  match t.srtt with
+  | None -> t.config.retransmit_timeout
+  | Some s -> max (Sim.Time.ms 5) (2 * s)
+
+let current_route call = call.routes.(call.route_idx)
+
+let finish_call t call outcome =
+  if not call.finished then begin
+    call.finished <- true;
+    Option.iter (cancel t) call.timer;
+    Option.iter (cancel t) call.response.gap_timer;
+    Hashtbl.remove t.calls call.txn;
+    match outcome with
+    | `Reply data ->
+      t.calls_completed <- t.calls_completed + 1;
+      let rtt = now t - call.started in
+      update_rtt t rtt;
+      call.on_reply data ~rtt
+    | `Fail reason ->
+      t.calls_failed <- t.calls_failed + 1;
+      call.on_fail reason
+  end
+
+let rec arm_timer t call =
+  Option.iter (cancel t) call.timer;
+  call.timer <-
+    Some
+      (schedule t ~delay:(rto t) (fun () ->
+           call.timer <- None;
+           if not call.finished then on_timeout t call))
+
+and on_timeout t call =
+  call.retries <- call.retries + 1;
+  if call.retries > t.config.max_retries then begin
+    (* Exhausted this route: fail over to the next one (§6.3). *)
+    if call.route_idx + 1 < Array.length call.routes then begin
+      let failed = current_route call in
+      call.route_idx <- call.route_idx + 1;
+      call.retries <- 0;
+      t.route_switches <- t.route_switches + 1;
+      (match t.on_route_switch with
+      | Some f -> f ~failed ~route_index:call.route_idx
+      | None -> ());
+      retransmit_request t call ~all:true;
+      arm_timer t call
+    end
+    else finish_call t call (`Fail "all routes exhausted")
+  end
+  else begin
+    retransmit_request t call ~all:false;
+    arm_timer t call
+  end
+
+and retransmit_request t call ~all =
+  let missing =
+    if all then List.init (Array.length call.request_packets) (fun i -> i)
+    else
+      Wf.mask_missing call.request_acked (Array.length call.request_packets)
+  in
+  let missing =
+    if missing = [] then List.init (Array.length call.request_packets) (fun i -> i)
+    else missing
+  in
+  t.retransmits <- t.retransmits + List.length missing;
+  send_group t ~route:(current_route call) ~priority:call.priority
+    call.request_packets ~indices:missing
+
+let send_ack t ~dst ~txn ~acks_response ~mask ~group_size ~via =
+  t.acks_sent <- t.acks_sent + 1;
+  let packet =
+    encode_packet t ~dst ~txn ~kind:Wf.Ack ~index:0 ~group_size ~acks_response
+      ~mask ~data:Bytes.empty
+  in
+  send_via t ~via packet
+
+(* ---- server side ---- *)
+
+let respond t ~client ~txn ~via data =
+  let chunks = segment_data t data in
+  let group_size = Array.length chunks in
+  let packets =
+    Array.mapi
+      (fun i chunk ->
+        encode_packet t ~dst:client ~txn ~kind:Wf.Response ~index:i ~group_size
+          ~acks_response:false ~mask:0l ~data:chunk)
+      chunks
+  in
+  let held =
+    { resp_packets = packets; via; expires = now t + t.config.response_hold }
+  in
+  Hashtbl.replace t.held (client, txn) held;
+  ignore
+    (schedule t ~delay:t.config.response_hold (fun () ->
+         match Hashtbl.find_opt t.held (client, txn) with
+         | Some h when h.expires <= now t -> Hashtbl.remove t.held (client, txn)
+         | Some _ | None -> ()));
+  Array.iter
+    (fun packet ->
+      t.packets_sent <- t.packets_sent + 1;
+      send_via t ~via packet)
+    packets
+
+let arm_gap_timer t partial ~on_gap =
+  Option.iter (cancel t) partial.gap_timer;
+  partial.gap_timer <-
+    Some
+      (schedule t ~delay:t.config.gap_timeout (fun () ->
+           partial.gap_timer <- None;
+           on_gap ()))
+
+let handle_request t (p : Wf.t) ~sample =
+  let key = (p.Wf.src_entity, p.Wf.transaction) in
+  match Hashtbl.find_opt t.held key with
+  | Some held ->
+    (* Duplicate of a completed transaction: replay the response. *)
+    t.duplicate_requests <- t.duplicate_requests + 1;
+    held.expires <- now t + t.config.response_hold;
+    Array.iter
+      (fun packet ->
+        t.packets_sent <- t.packets_sent + 1;
+        send_via t ~via:held.via packet)
+      held.resp_packets
+  | None ->
+    let partial =
+      match Hashtbl.find_opt t.partials key with
+      | Some partial -> partial
+      | None ->
+        let partial = fresh_partial () in
+        Hashtbl.replace t.partials key partial;
+        partial
+    in
+    partial_add partial ~index:p.Wf.index ~group_size:p.Wf.group_size
+      ~data:p.Wf.data ~sample;
+    if partial_complete partial then begin
+      Option.iter (cancel t) partial.gap_timer;
+      Hashtbl.remove t.partials key;
+      let data = assemble partial in
+      let via = Option.get partial.sample in
+      let replied = ref false in
+      let reply response_data =
+        if not !replied then begin
+          replied := true;
+          respond t ~client:p.Wf.src_entity ~txn:p.Wf.transaction ~via
+            response_data
+        end
+      in
+      match t.handler with
+      | Some f -> f t ~data ~reply
+      | None -> ()
+    end
+    else
+      arm_gap_timer t partial ~on_gap:(fun () ->
+          match partial.sample with
+          | Some via ->
+            send_ack t ~dst:p.Wf.src_entity ~txn:p.Wf.transaction
+              ~acks_response:false ~mask:partial.mask
+              ~group_size:partial.group_size ~via
+          | None -> ())
+
+(* ---- client side ---- *)
+
+let handle_response t (p : Wf.t) ~sample =
+  match Hashtbl.find_opt t.calls p.Wf.transaction with
+  | None -> ()
+  | Some call ->
+    let partial = call.response in
+    partial_add partial ~index:p.Wf.index ~group_size:p.Wf.group_size
+      ~data:p.Wf.data ~sample;
+    if partial_complete partial then begin
+      (* Completion ack lets the server drop its held response. *)
+      send_ack t ~dst:call.server ~txn:call.txn ~acks_response:true
+        ~mask:(Wf.mask_full partial.group_size) ~group_size:partial.group_size
+        ~via:sample;
+      finish_call t call (`Reply (assemble partial))
+    end
+    else
+      arm_gap_timer t partial ~on_gap:(fun () ->
+          if not call.finished then
+            send_ack t ~dst:call.server ~txn:call.txn ~acks_response:true
+              ~mask:partial.mask ~group_size:partial.group_size ~via:sample)
+
+let handle_ack t (p : Wf.t) =
+  if p.Wf.acks_response then begin
+    (* Report on a response group we hold as server. *)
+    let key = (p.Wf.src_entity, p.Wf.transaction) in
+    match Hashtbl.find_opt t.held key with
+    | None -> ()
+    | Some held ->
+      let group = Array.length held.resp_packets in
+      if p.Wf.delivery_mask = Wf.mask_full group then
+        Hashtbl.remove t.held key
+      else begin
+        let missing = Wf.mask_missing p.Wf.delivery_mask group in
+        t.retransmits <- t.retransmits + List.length missing;
+        List.iter
+          (fun i ->
+            t.packets_sent <- t.packets_sent + 1;
+            send_via t ~via:held.via held.resp_packets.(i))
+          missing
+      end
+  end
+  else begin
+    (* Report on our request group: selective retransmission. *)
+    match Hashtbl.find_opt t.calls p.Wf.transaction with
+    | None -> ()
+    | Some call ->
+      call.request_acked <- Int32.logor call.request_acked p.Wf.delivery_mask;
+      let missing =
+        Wf.mask_missing call.request_acked (Array.length call.request_packets)
+      in
+      if missing <> [] then begin
+        t.retransmits <- t.retransmits + List.length missing;
+        send_group t ~route:(current_route call) ~priority:call.priority
+          call.request_packets ~indices:missing;
+        arm_timer t call
+      end
+  end
+
+let on_host_receive t _host ~packet ~in_port =
+  let payload = packet.Viper.Packet.data in
+  match Wf.decode payload with
+  | exception Invalid_argument _ -> t.rejected_checksum <- t.rejected_checksum + 1
+  | p ->
+    if not (Wf.checksum_ok payload) then
+      t.rejected_checksum <- t.rejected_checksum + 1
+    else if not (Int64.equal p.Wf.dst_entity t.id) then
+      t.rejected_entity <- t.rejected_entity + 1
+    else if
+      not
+        (Mpl.acceptable ~now_ms:(now_ms t) ~boot_ms:t.boot_ms
+           ~mpl_ms:t.config.mpl_ms ~skew_allowance_ms:t.config.skew_allowance_ms
+           ~timestamp_ms:p.Wf.timestamp_ms)
+    then t.rejected_old <- t.rejected_old + 1
+    else begin
+      let sample = (packet, in_port) in
+      match p.Wf.kind with
+      | Wf.Request -> handle_request t p ~sample
+      | Wf.Response -> handle_response t p ~sample
+      | Wf.Ack -> handle_ack t p
+    end
+
+let create ?(config = default_config) host ~id =
+  let t =
+    {
+      host;
+      config;
+      id;
+      boot_ms = Mpl.wrap (W.now (Sirpent.Host.world host) / 1_000_000);
+      next_txn = 1;
+      calls = Hashtbl.create 16;
+      partials = Hashtbl.create 16;
+      held = Hashtbl.create 16;
+      handler = None;
+      on_route_switch = None;
+      srtt = None;
+      packets_sent = 0;
+      retransmits = 0;
+      acks_sent = 0;
+      rejected_checksum = 0;
+      rejected_entity = 0;
+      rejected_old = 0;
+      duplicate_requests = 0;
+      route_switches = 0;
+      calls_completed = 0;
+      calls_failed = 0;
+    }
+  in
+  Sirpent.Host.set_receive host (on_host_receive t);
+  t
+
+let call t ~server ~routes ?(priority = Token.Priority.normal) ~data ~on_reply
+    ~on_fail () =
+  match routes with
+  | [] -> on_fail "no routes"
+  | _ ->
+    let txn = t.next_txn in
+    t.next_txn <- (t.next_txn + 1) land 0xFFFFFFFF;
+    let chunks = segment_data t data in
+    let group_size = Array.length chunks in
+    let request_packets =
+      Array.mapi
+        (fun i chunk ->
+          encode_packet t ~dst:server ~txn ~kind:Wf.Request ~index:i ~group_size
+            ~acks_response:false ~mask:0l ~data:chunk)
+        chunks
+    in
+    let call =
+      {
+        txn;
+        server;
+        routes = Array.of_list routes;
+        route_idx = 0;
+        priority;
+        request_packets;
+        request_acked = 0l;
+        retries = 0;
+        timer = None;
+        response = fresh_partial ();
+        started = now t;
+        on_reply;
+        on_fail;
+        finished = false;
+      }
+    in
+    Hashtbl.replace t.calls txn call;
+    send_group t ~route:(current_route call) ~priority call.request_packets
+      ~indices:(List.init group_size (fun i -> i));
+    arm_timer t call

@@ -1,0 +1,70 @@
+(** A VMTP-style transport entity bound to a Sirpent host (§4).
+
+    Entities exchange {e message transactions}: a client sends a request as
+    a packet group along a directory-supplied source route; the server
+    delivers the reassembled message to its handler and sends the response
+    group back over the {e return route built from the request's trailer}
+    — no routing knowledge at the server. Selective retransmission repairs
+    losses inside a group (§4.3); timestamps enforce maximum packet
+    lifetime (§4.2); the 64-bit entity pair defends against misdelivery
+    with no network checksum (§4.1). Clients hold multiple routes and fail
+    over between them when retransmission on the current route is
+    exhausted — the §6.3 recovery mechanism. *)
+
+type config = {
+  segment_bytes : int;  (** data bytes per packet; default 1024 (§5's "roughly 1 kilobyte transport packet") *)
+  retransmit_timeout : Sim.Time.t;  (** initial RTO; adapted from measured RTT *)
+  max_retries : int;  (** retransmission rounds per route before failover *)
+  gap_timeout : Sim.Time.t;  (** receiver-side delay before nacking a gap *)
+  response_hold : Sim.Time.t;  (** how long a server keeps a response for replay *)
+  mpl_ms : int;
+  skew_allowance_ms : int;
+  clock_skew_ms : int;  (** artificial offset of this entity's clock *)
+  pace_bps : int;  (** rate-based pacing of group packets; 0 = back-to-back *)
+}
+
+val default_config : config
+
+type stats = {
+  packets_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  rejected_checksum : int;
+  rejected_entity : int;  (** wrong destination entity: misdelivery caught *)
+  rejected_old : int;  (** MPL rule discards *)
+  duplicate_requests : int;  (** replayed from the response hold *)
+  route_switches : int;
+  calls_completed : int;
+  calls_failed : int;
+}
+
+type t
+
+val create : ?config:config -> Sirpent.Host.t -> id:int64 -> t
+(** Takes over the host's receive callback. *)
+
+val id : t -> int64
+val host : t -> Sirpent.Host.t
+val stats : t -> stats
+
+val rtt_estimate : t -> Sim.Time.t option
+(** Smoothed RTT over completed transactions. *)
+
+val set_request_handler : t -> (t -> data:bytes -> reply:(bytes -> unit) -> unit) -> unit
+(** Server side: called once per complete request; [reply] may be invoked
+    (once) now or later. *)
+
+val set_route_switch_hook :
+  t -> (failed:Sirpent.Route.t -> route_index:int -> unit) -> unit
+(** Called when a call abandons a route for the next alternate; [failed]
+    is the route given up on (so a client can demote exactly that route
+    for future calls) and [route_index] the index now in use. *)
+
+val call :
+  t -> server:int64 -> routes:Sirpent.Route.t list ->
+  ?priority:Token.Priority.t -> data:bytes ->
+  on_reply:(bytes -> rtt:Sim.Time.t -> unit) -> on_fail:(string -> unit) ->
+  unit -> unit
+(** Run a message transaction. [routes] are tried in order; exactly one of
+    the callbacks eventually fires. Raises [Invalid_argument] if [data]
+    needs more than 32 packets. *)

@@ -1,0 +1,15 @@
+let modulus = 1 lsl 32
+
+let wrap ms = ms land (modulus - 1)
+
+let age_ms ~now_ms ~timestamp_ms =
+  let diff = (wrap now_ms - wrap timestamp_ms) land (modulus - 1) in
+  if diff >= modulus / 2 then diff - modulus else diff
+
+let acceptable ~now_ms ~boot_ms ~mpl_ms ~skew_allowance_ms ~timestamp_ms =
+  if timestamp_ms = 0 then true
+  else begin
+    let age = age_ms ~now_ms ~timestamp_ms in
+    let since_boot = age_ms ~now_ms ~timestamp_ms:boot_ms in
+    age <= mpl_ms && age >= -skew_allowance_ms && age <= since_boot
+  end

@@ -1,0 +1,24 @@
+(** Maximum-packet-lifetime acceptance (§4.2).
+
+    The transport stamps every packet with a 32-bit creation time in
+    milliseconds; the receiver discards packets "older than an acceptable
+    period based on its recent history of communication" — and anything
+    apparently created before its own boot. The timestamp wraps modulo
+    2^32 (about one month), "which should protect against all but
+    maliciously delayed packets". No router ever touches the field, unlike
+    a TTL. *)
+
+val wrap : int -> int
+(** Reduce a millisecond count modulo 2^32. *)
+
+val age_ms : now_ms:int -> timestamp_ms:int -> int
+(** Wrap-aware signed age: positive = packet from the past, negative =
+    timestamp ahead of our clock (skew). *)
+
+val acceptable :
+  now_ms:int -> boot_ms:int -> mpl_ms:int -> skew_allowance_ms:int ->
+  timestamp_ms:int -> bool
+(** The §4.2 rule. Timestamp 0 is reserved "invalid, ignore" and always
+    accepted. Otherwise the packet must be no older than [mpl_ms], no
+    further in the future than [skew_allowance_ms], and not created before
+    [boot_ms]. *)

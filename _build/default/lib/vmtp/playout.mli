@@ -1,0 +1,32 @@
+(** Receiver-side playout for real-time traffic (§8, §4.2).
+
+    "We are interested in experimenting with real-time traffic on Sirpent
+    internetworks in which 'jitter' is handled by selectively delaying data
+    delivery to recreate the original packet transmission spacing, possibly
+    using the VMTP timestamp for this purpose."
+
+    Each packet carries its 32-bit millisecond creation timestamp; the
+    playout buffer delivers it at [creation + target_delay], restoring the
+    sender's spacing exactly for every packet whose network delay stayed
+    within the budget. Packets arriving past their playout instant are
+    counted late and dropped (delivering them would break the recreated
+    time base). *)
+
+type t
+
+val create :
+  Sim.Engine.t -> target_delay:Sim.Time.t -> deliver:(bytes -> unit) -> t
+(** [target_delay] is the fixed sender-to-playout offset (the jitter
+    budget). [deliver] runs at each packet's playout instant. Assumes the
+    sender's millisecond clock is the simulation clock (the synchronized
+    clocks of §4.2). *)
+
+val offer : t -> timestamp_ms:int -> data:bytes -> [ `Scheduled | `Late ]
+(** Hand over an arrived packet. *)
+
+val delivered : t -> int
+val late : t -> int
+
+val headroom : t -> timestamp_ms:int -> Sim.Time.t
+(** Time remaining before this packet's playout instant (negative =
+    already late) — the margin real-time monitoring would watch. *)

@@ -1,0 +1,62 @@
+(** VMTP-style transport packet format (§4).
+
+    The transport must stand alone on top of Sirpent: 64-bit entity
+    identifiers unique independently of the network layer (misdelivery
+    defense, §4.1), a 32-bit millisecond creation timestamp in the packet
+    {e trailer} "along with the checksum" (MPL enforcement, §4.2), and
+    packet groups with a 32-bit delivery mask for selective retransmission
+    (§4.3).
+
+    Layout (all big-endian):
+    {v
+      header (28 B): src_entity:u64 dst_entity:u64 transaction:u32
+                     kind:u8 index:u8 group_size:u8 flags:u8
+                     delivery_mask:u32
+      data   (total - 28 - 8 bytes)
+      trailer (8 B): timestamp_ms:u32 checksum:u16 pad:u16
+    v}
+
+    The checksum is the Internet ones-complement sum over the whole packet
+    with the checksum field zeroed. Timestamp 0 means "invalid, ignore"
+    (§4.2: for booting machines). *)
+
+type kind =
+  | Request
+  | Response
+  | Ack  (** delivery-mask report (a gap nack or completion ack) *)
+
+type t = {
+  src_entity : int64;
+  dst_entity : int64;
+  transaction : int;  (** 32-bit *)
+  kind : kind;
+  index : int;  (** packet index within its group, 0-31 *)
+  group_size : int;  (** packets in the group, 1-32 *)
+  acks_response : bool;
+      (** for [Ack]: the mask reports on a Response group (else Request) *)
+  delivery_mask : int32;
+  timestamp_ms : int;  (** 32-bit ms since epoch, 0 = invalid *)
+  data : bytes;
+}
+
+val header_size : int
+val trailer_size : int
+val max_group : int
+(** 32 — one bit per packet in the delivery mask. *)
+
+val encode : t -> bytes
+(** With a correct trailer checksum. *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on malformed input. Does not verify the
+    checksum. *)
+
+val checksum_ok : bytes -> bool
+
+val mask_with : int32 -> int -> int32
+val mask_has : int32 -> int -> bool
+val mask_full : int -> int32
+(** All of the first [n] bits set. *)
+
+val mask_missing : int32 -> int -> int list
+(** Indexes below [group_size] absent from the mask. *)

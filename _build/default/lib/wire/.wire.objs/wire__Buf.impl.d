@@ -1,0 +1,1 @@
+lib/wire/buf.ml: Bytes Char Int32 String

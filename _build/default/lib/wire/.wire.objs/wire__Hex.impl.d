@@ -1,0 +1,1 @@
+lib/wire/hex.ml: Buffer Bytes Char Printf String

@@ -1,0 +1,42 @@
+type mixture = { min_size : int; max_size : int }
+
+let paper_mixture = { min_size = 64; max_size = 2048 }
+let viper_mixture = { min_size = 64; max_size = 1500 }
+
+let draw rng m =
+  let p = Sim.Rng.float rng 1.0 in
+  if p < 0.5 then m.min_size
+  else if p < 0.75 then m.max_size
+  else Sim.Rng.uniform_int rng ~lo:m.min_size ~hi:m.max_size
+
+let analytic_mean m =
+  let mn = float_of_int m.min_size and mx = float_of_int m.max_size in
+  (0.5 *. mn) +. (0.25 *. mx) +. (0.25 *. ((mn +. mx) /. 2.0))
+
+type hop_model =
+  | Fixed of int
+  | Local_mix of { p_local : float; remote_hops : int }
+  | Geometric of { mean : float }
+
+let paper_hop_model = Local_mix { p_local = 0.96; remote_hops = 5 }
+
+let draw_hops rng = function
+  | Fixed n -> n
+  | Local_mix { p_local; remote_hops } ->
+    if Sim.Rng.float rng 1.0 < p_local then 0 else remote_hops
+  | Geometric { mean } ->
+    if mean <= 0.0 then 0
+    else begin
+      (* Geometric on {0,1,...} with success probability 1/(1+mean). *)
+      let p = 1.0 /. (1.0 +. mean) in
+      let rec go n =
+        if Sim.Rng.float rng 1.0 < p || n > 1000 then n else go (n + 1)
+      in
+      go 0
+    end
+
+let analytic_mean_hops = function
+  | Fixed n -> float_of_int n
+  | Local_mix { p_local; remote_hops } ->
+    (1.0 -. p_local) *. float_of_int remote_hops
+  | Geometric { mean } -> mean

@@ -1,0 +1,46 @@
+(** Packet-size and hop-count models from §6.2.
+
+    The paper's size mixture (citing the VMTP measurement study): "half the
+    packets are close to minimum size (for the transport layer), one
+    quarter are maximum size and the rest are more or less uniformly
+    distributed between these two extremes", giving a mean of roughly 3/8
+    of the maximum. *)
+
+type mixture = { min_size : int; max_size : int }
+
+val paper_mixture : mixture
+(** min 64 B (a small transport packet), max 2048 B — the §6.2 worked
+    example ("assume that the maximum packet size is 2 kilobytes"). *)
+
+val viper_mixture : mixture
+(** max 1500 B, the VIPER transmission unit. *)
+
+val draw : Sim.Rng.t -> mixture -> int
+(** One packet size from the 1/2-min, 1/4-max, 1/4-uniform mixture. *)
+
+val analytic_mean : mixture -> float
+(** Exact mean of the mixture:
+    [0.5 min + 0.25 max + 0.25 (min + max) / 2]. For [min << max] this is
+    the paper's "roughly 3/8 of the maximum". *)
+
+(** {1 Hop counts}
+
+    §6.2 argues "locality of communication causes the expected number of
+    hops per packet for many applications significantly less than one"
+    (counting routers traversed, 0 = same network) and uses 0.2 as the
+    worked-example mean. *)
+
+type hop_model =
+  | Fixed of int
+  | Local_mix of { p_local : float; remote_hops : int }
+      (** with probability [p_local] the packet is 0 hops, else
+          [remote_hops]. *)
+  | Geometric of { mean : float }
+      (** 0-based geometric with the given mean. *)
+
+val paper_hop_model : hop_model
+(** [Local_mix] with mean 0.2 hops: 96% local, 5-hop (telephone-like
+    global route) otherwise. *)
+
+val draw_hops : Sim.Rng.t -> hop_model -> int
+val analytic_mean_hops : hop_model -> float

@@ -1,0 +1,69 @@
+type kind =
+  | Poisson of { rng : Sim.Rng.t; rate : float }
+  | Periodic of { period : Sim.Time.t }
+  | On_off of {
+      rng : Sim.Rng.t;
+      on_mean : Sim.Time.t;
+      off_mean : Sim.Time.t;
+      burst_gap : Sim.Time.t;
+      mutable remaining_on : Sim.Time.t;
+    }
+  | Transactional of {
+      rng : Sim.Rng.t;
+      rate : float;
+      group : int;
+      mutable left_in_group : int;
+    }
+
+type t = kind
+
+let poisson rng ~rate_pps =
+  if rate_pps <= 0.0 then invalid_arg "Source.poisson";
+  Poisson { rng; rate = rate_pps }
+
+let periodic ~period =
+  if period <= 0 then invalid_arg "Source.periodic";
+  Periodic { period }
+
+let on_off rng ~on_mean ~off_mean ~burst_gap =
+  if on_mean <= 0 || off_mean <= 0 || burst_gap <= 0 then invalid_arg "Source.on_off";
+  On_off { rng; on_mean; off_mean; burst_gap; remaining_on = 0 }
+
+let transactional rng ~rate_tps ~request_packets =
+  if rate_tps <= 0.0 || request_packets <= 0 then invalid_arg "Source.transactional";
+  Transactional { rng; rate = rate_tps; group = request_packets; left_in_group = 0 }
+
+let exp_gap rng ~mean_s =
+  Sim.Time.of_seconds (Sim.Rng.exponential rng ~mean:mean_s)
+
+let next_gap = function
+  | Poisson { rng; rate } -> exp_gap rng ~mean_s:(1.0 /. rate)
+  | Periodic { period } -> period
+  | On_off s ->
+    if s.remaining_on >= s.burst_gap then begin
+      s.remaining_on <- s.remaining_on - s.burst_gap;
+      s.burst_gap
+    end
+    else begin
+      let off = exp_gap s.rng ~mean_s:(Sim.Time.to_seconds s.off_mean) in
+      s.remaining_on <- exp_gap s.rng ~mean_s:(Sim.Time.to_seconds s.on_mean);
+      off + s.burst_gap
+    end
+  | Transactional s ->
+    if s.left_in_group > 0 then begin
+      s.left_in_group <- s.left_in_group - 1;
+      Sim.Time.ns 1
+    end
+    else begin
+      s.left_in_group <- s.group - 1;
+      exp_gap s.rng ~mean_s:(1.0 /. s.rate)
+    end
+
+let mean_rate_pps = function
+  | Poisson { rate; _ } -> rate
+  | Periodic { period } -> 1.0 /. Sim.Time.to_seconds period
+  | On_off { on_mean; off_mean; burst_gap; _ } ->
+    let on = Sim.Time.to_seconds on_mean and off = Sim.Time.to_seconds off_mean in
+    let per_burst = on /. Sim.Time.to_seconds burst_gap in
+    per_burst /. (on +. off)
+  | Transactional { rate; group; _ } -> rate *. float_of_int group

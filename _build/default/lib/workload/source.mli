@@ -1,0 +1,30 @@
+(** Traffic sources: arrival-time generators for the simulation
+    experiments. Each [next] call returns the inter-arrival gap to the next
+    packet. *)
+
+type t
+
+val poisson : Sim.Rng.t -> rate_pps:float -> t
+(** Exponential inter-arrivals at the given mean packets/second. *)
+
+val periodic : period:Sim.Time.t -> t
+(** Constant-rate source (e.g. a video stream). *)
+
+val on_off :
+  Sim.Rng.t -> on_mean:Sim.Time.t -> off_mean:Sim.Time.t ->
+  burst_gap:Sim.Time.t -> t
+(** Bursty source: exponentially distributed ON periods emitting packets
+    every [burst_gap], separated by exponentially distributed OFF
+    periods — the "highly bursty traffic characteristic of most computer
+    communication" (§1). *)
+
+val transactional :
+  Sim.Rng.t -> rate_tps:float -> request_packets:int -> t
+(** Transactions (e.g. credit-card lookups, §1) arriving Poisson at
+    [rate_tps], each a back-to-back group of [request_packets] packets. *)
+
+val next_gap : t -> Sim.Time.t
+(** Gap before the next packet. *)
+
+val mean_rate_pps : t -> float
+(** Long-run average packet rate (analytic). *)

@@ -1,0 +1,1 @@
+test/test_congestion.ml: Alcotest Bytes List Netsim Sim Sirpent Topo

@@ -1,0 +1,1 @@
+test/test_cvc.ml: Alcotest Array Bytes Cvc List Netsim Sim Topo

@@ -1,0 +1,1 @@
+test/test_dirsvc.ml: Alcotest Array Bytes Dirsvc List Netsim Option Printf Sim Sirpent Token Topo Viper

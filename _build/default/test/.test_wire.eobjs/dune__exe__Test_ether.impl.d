@@ -1,0 +1,1 @@
+test/test_ether.ml: Alcotest Bytes Ether Gen Int64 List QCheck QCheck_alcotest String Wire

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Cvc Dirsvc Gen Ipbase List Netsim Option Printf QCheck QCheck_alcotest Sim Sirpent Token Topo Viper Vmtp

@@ -1,0 +1,1 @@
+test/test_interop.ml: Alcotest Bytes Interop Ipbase List Netsim Option Sim Sirpent Topo Viper Vmtp

@@ -1,0 +1,1 @@
+test/test_ipbase.ml: Alcotest Array Bytes Char Ipbase List Netsim QCheck QCheck_alcotest Sim Topo Wire

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest List QCheck QCheck_alcotest Queueing

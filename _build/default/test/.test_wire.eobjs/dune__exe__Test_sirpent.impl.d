@@ -1,0 +1,1 @@
+test/test_sirpent.ml: Alcotest Array Bytes List Netsim Option Sim Sirpent String Token Topo Viper

@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Bytes Char Int64 List QCheck QCheck_alcotest Token

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Int64 List Option QCheck QCheck_alcotest Sim Topo

@@ -1,0 +1,1 @@
+test/test_viper.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest Viper Wire

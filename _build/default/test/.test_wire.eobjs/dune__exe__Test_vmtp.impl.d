@@ -1,0 +1,1 @@
+test/test_vmtp.ml: Alcotest Array Bytes Char Gen List Netsim Option QCheck QCheck_alcotest Sim Sirpent Topo Vmtp

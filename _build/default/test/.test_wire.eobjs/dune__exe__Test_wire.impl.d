@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest String Wire

@@ -1,0 +1,165 @@
+(* Unit tests for the rate-based congestion controller (§2.2): token-bucket
+   limiters, soft-state expiry and ramp-up, backlog accounting, and the
+   monitor's feeder signalling. *)
+
+module G = Topo.Graph
+module W = Netsim.World
+module C = Sirpent.Congestion
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* two routers and a host feeder, for a world the controller can live in *)
+let world () =
+  let g = G.create () in
+  let feeder = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g feeder r1 G.default_props) (* r1 port 1 *);
+  let trunk = fst (G.connect g r1 r2 G.default_props) (* r1 port 2 *) in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  (g, engine, world, feeder, r1, trunk)
+
+let config = C.default_config
+
+let unlimited_passes_through () =
+  let _, _, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  let sent = ref 0 in
+  C.submit c ~out_port:2 ~next_port:(Some 3) ~bytes:1000 ~send:(fun () -> incr sent);
+  check_int "immediate" 1 !sent;
+  check_int "no backlog" 0 (C.backlog c)
+
+let limiter_paces_to_rate () =
+  (* monitor not started: pure token-bucket behavior, no ramp *)
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  (* 80 kb/s = one 1000-byte packet per 100 ms *)
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:80_000.0;
+  check_int "limiter installed" 1 (C.limiters c);
+  let sent_times = ref [] in
+  for _ = 1 to 3 do
+    C.submit c ~out_port:1 ~next_port:(Some 3) ~bytes:1000 ~send:(fun () ->
+        sent_times := Sim.Engine.now engine :: !sent_times)
+  done;
+  check_bool "some held" true (C.backlog c > 0);
+  Sim.Engine.run ~until:(Sim.Time.ms 500) engine;
+  check_int "all released eventually" 3 (List.length !sent_times);
+  (* spacing between releases ~ 100 ms at 80 kb/s *)
+  (match List.rev !sent_times with
+  | t1 :: t2 :: _ ->
+    check_bool "paced spacing >= 50 ms" true (t2 - t1 >= Sim.Time.ms 50)
+  | _ -> Alcotest.fail "expected releases");
+  check_int "drained" 0 (C.backlog c)
+
+let limiter_key_is_exact () =
+  let _, _, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1.0;
+  let sent = ref 0 in
+  (* different next_port: unthrottled *)
+  C.submit c ~out_port:1 ~next_port:(Some 4) ~bytes:100_000 ~send:(fun () -> incr sent);
+  (* no next_port (final hop): unthrottled *)
+  C.submit c ~out_port:1 ~next_port:None ~bytes:100_000 ~send:(fun () -> incr sent);
+  check_int "both bypass" 2 !sent
+
+let limiter_expires_as_soft_state () =
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1000.0;
+  check_int "installed" 1 (C.limiters c);
+  (* no refresh: after limiter_expiry (100 ms) + a tick it must vanish *)
+  Sim.Engine.run ~until:(config.C.limiter_expiry + (4 * config.C.check_interval)) engine;
+  check_int "expired" 0 (C.limiters c)
+
+let ramp_raises_rate () =
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  (* very slow limiter holding one packet; with a held packet it cannot
+     expire, and each quiet interval multiplies its rate *)
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:8_000.0;
+  let sent_at = ref 0 in
+  (* a second packet behind a first: 2000 B at 8 kb/s would take ~2 s flat *)
+  C.submit c ~out_port:1 ~next_port:(Some 3) ~bytes:1000 ~send:(fun () -> ());
+  C.submit c ~out_port:1 ~next_port:(Some 3) ~bytes:1000 ~send:(fun () ->
+      sent_at := Sim.Engine.now engine);
+  Sim.Engine.run ~until:(Sim.Time.s 3) engine;
+  check_bool "released" true (!sent_at > 0);
+  (* the multiplicative ramp (1.25 per 5 ms) releases it far sooner than
+     the flat 2 s *)
+  check_bool "ramp accelerated the drain" true (!sent_at < Sim.Time.s 1)
+
+let monitor_signals_feeders () =
+  let _, engine, w, feeder, r1, trunk = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  (* the feeder host records control messages it receives *)
+  let got_rate = ref None in
+  W.set_handler w feeder (fun _ ~in_port:_ ~frame ~head:_ ~tail:_ ->
+      match frame.Netsim.Frame.meta with
+      | Some (C.Rate_ctl { congested_port; rate_bps }) ->
+        got_rate := Some (congested_port, rate_bps)
+      | _ -> ());
+  (* fill the trunk queue well past the threshold: it drains at ~1.25
+     packets/ms, so survive until the first 5 ms monitor tick *)
+  for _ = 1 to 30 do
+    ignore (W.send w ~node:r1 ~port:trunk (W.fresh_frame w (Bytes.make 1000 'q')));
+    C.note_arrival c ~in_port:1 ~out_port:trunk
+  done;
+  Sim.Engine.run ~until:(2 * config.C.check_interval) engine;
+  match !got_rate with
+  | None -> Alcotest.fail "feeder never signalled"
+  | Some (port, rate) ->
+    check_int "names the congested port" trunk port;
+    (* single feeder: advertised rate = capacity * share *)
+    check_bool "rate = capacity x share" true
+      (abs_float (rate -. (1e7 *. config.C.feeder_share)) < 1.0)
+
+let monitor_quiet_when_uncongested () =
+  let _, engine, w, feeder, r1, trunk = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  let signalled = ref false in
+  W.set_handler w feeder (fun _ ~in_port:_ ~frame ~head:_ ~tail:_ ->
+      match frame.Netsim.Frame.meta with
+      | Some (C.Rate_ctl _) -> signalled := true
+      | _ -> ());
+  (* below threshold: a couple of queued packets *)
+  for _ = 1 to 2 do
+    ignore (W.send w ~node:r1 ~port:trunk (W.fresh_frame w (Bytes.make 1000 'q')));
+    C.note_arrival c ~in_port:1 ~out_port:trunk
+  done;
+  Sim.Engine.run ~until:(4 * config.C.check_interval) engine;
+  check_bool "no signal below threshold" false !signalled;
+  check_int "no ctl sent" 0 (C.ctl_sent c)
+
+let idle_controller_drains_event_queue () =
+  (* regression: an idle monitor must not keep the simulation alive *)
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  C.note_arrival c ~in_port:1 ~out_port:2;
+  (* unbounded run must terminate *)
+  Sim.Engine.run ~max_events:100_000 engine;
+  check_bool "drained" true (Sim.Engine.pending engine = 0 || Sim.Engine.now engine > 0)
+
+let () =
+  Alcotest.run "congestion"
+    [
+      ( "limiter",
+        [
+          Alcotest.test_case "unlimited passes" `Quick unlimited_passes_through;
+          Alcotest.test_case "paces to rate" `Quick limiter_paces_to_rate;
+          Alcotest.test_case "exact key" `Quick limiter_key_is_exact;
+          Alcotest.test_case "soft-state expiry" `Quick limiter_expires_as_soft_state;
+          Alcotest.test_case "ramp raises rate" `Quick ramp_raises_rate;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "signals feeders" `Quick monitor_signals_feeders;
+          Alcotest.test_case "quiet when uncongested" `Quick monitor_quiet_when_uncongested;
+          Alcotest.test_case "idle drains" `Quick idle_controller_drains_event_queue;
+        ] );
+    ]

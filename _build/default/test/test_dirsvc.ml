@@ -1,0 +1,260 @@
+(* Tests for names and the routing directory service. *)
+
+module G = Topo.Graph
+module D = Dirsvc.Directory
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let n = Dirsvc.Name.of_string
+
+(* Names *)
+
+let name_parse_print () =
+  check_string "roundtrip" "edu.stanford.cs" (Dirsvc.Name.to_string (n "edu.stanford.cs"));
+  check_int "depth" 3 (Dirsvc.Name.depth (n "edu.stanford.cs"));
+  Alcotest.check_raises "empty" (Invalid_argument "Name.of_string: empty") (fun () ->
+      ignore (n ""));
+  Alcotest.check_raises "empty component"
+    (Invalid_argument "Name.of_string: empty component") (fun () ->
+      ignore (n "edu..cs"))
+
+let name_region () =
+  check_string "region" "edu.stanford" (Dirsvc.Name.to_string (Dirsvc.Name.region (n "edu.stanford.cs")));
+  check_string "root region" "edu" (Dirsvc.Name.to_string (Dirsvc.Name.region (n "edu")))
+
+let name_distance () =
+  check_int "same region" 0
+    (Dirsvc.Name.hierarchy_distance (n "edu.stanford.cs.h1") (n "edu.stanford.cs.h2"));
+  check_int "sibling regions" 2
+    (Dirsvc.Name.hierarchy_distance (n "edu.stanford.cs.h1") (n "edu.stanford.ee.h1"));
+  check_int "cross-top" 4
+    (Dirsvc.Name.hierarchy_distance (n "edu.stanford.cs.h1") (n "edu.mit.lcs.h1"))
+
+(* A 4-campus internetwork with names. *)
+let build () =
+  let rng = Sim.Rng.create 99L in
+  let g, routers, hosts = G.campus_internet ~rng ~campuses:4 ~hosts_per_campus:2 in
+  let dir = D.create g in
+  Array.iteri
+    (fun i h ->
+      D.register dir
+        ~name:(n (Printf.sprintf "edu.campus%d.host%d" (i mod 4) i))
+        ~node:h)
+    hosts;
+  (g, routers, hosts, dir)
+
+let query_returns_routes_with_attrs () =
+  let _, _, hosts, dir = build () in
+  let routes = D.query dir ~client:hosts.(0) ~target:(n "edu.campus1.host5") ~k:2 () in
+  check_int "two routes" 2 (List.length routes);
+  let first = List.hd routes in
+  check_bool "hops nonempty" true (first.D.hops <> []);
+  check_int "mtu" 1500 first.D.attrs.D.mtu;
+  check_bool "bottleneck bw" true (first.D.attrs.D.bandwidth_bps <= 45_000_000);
+  check_bool "rtt estimate positive" true (first.D.attrs.D.rtt_estimate > 0);
+  check_bool "ordered by cost" true
+    (first.D.attrs.D.cost <= (List.nth routes 1).D.attrs.D.cost)
+
+let query_unknown_name_empty () =
+  let _, _, hosts, dir = build () in
+  check_int "empty" 0
+    (List.length (D.query dir ~client:hosts.(0) ~target:(n "edu.nowhere.hostX") ()))
+
+let tokens_verify_at_routers () =
+  let _, _, hosts, dir = build () in
+  let routes = D.query dir ~client:hosts.(0) ~target:(n "edu.campus1.host5") ~k:1 () in
+  let first = List.hd routes in
+  (* each router segment's token must verify under that router's key *)
+  let router_hops = List.tl first.D.hops in
+  let segments = first.D.route.Sirpent.Route.segments in
+  List.iteri
+    (fun i hop ->
+      let seg = List.nth segments i in
+      let tok = Option.get (Token.Capability.of_bytes seg.Viper.Segment.token) in
+      let key = Token.Cipher.random_looking_key hop.G.at in
+      match Token.Capability.verify key tok with
+      | None -> Alcotest.fail "token must verify at its router"
+      | Some grant ->
+        check_int "token names the hop port" hop.G.out grant.Token.Capability.port;
+        check_bool "reverse authorized" true grant.Token.Capability.reverse_ok)
+    router_hops
+
+let secure_selector_filters () =
+  (* Mark every link insecure except those of one path; Secure must use it
+     or return nothing. *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props) (* link 0 *);
+  ignore (G.connect g h1 r2 G.default_props) (* link 1 *);
+  ignore (G.connect g r1 h2 G.default_props) (* link 2 *);
+  ignore (G.connect g r2 h2 G.default_props) (* link 3 *);
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  D.register dir ~name:(n "org.src") ~node:h1;
+  (* only the r2 path is secure *)
+  D.set_link_secure dir ~link_id:1 true;
+  D.set_link_secure dir ~link_id:3 true;
+  let routes = D.query dir ~client:h1 ~target:(n "org.dst") ~selector:D.Secure ~k:4 () in
+  check_int "exactly the secure path" 1 (List.length routes);
+  let via = G.route_nodes g ~src:h1 (List.hd routes).D.hops in
+  check_bool "goes via r2" true (List.mem r2 via);
+  (* with no secure links at all: nothing *)
+  D.set_link_secure dir ~link_id:1 false;
+  check_int "none when no secure path" 0
+    (List.length (D.query dir ~client:h1 ~target:(n "org.dst") ~selector:D.Secure ()))
+
+let load_reports_steer_routes () =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props);
+  ignore (G.connect g h1 r2 G.default_props);
+  let l_r1 = G.connect g r1 h2 G.default_props in
+  ignore l_r1;
+  ignore (G.connect g r2 h2 { G.default_props with G.propagation = Sim.Time.us 50 });
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  (* Initially the r1 path (5us prop) wins over r2 (50us). *)
+  let best () =
+    let routes = D.query dir ~client:h1 ~target:(n "org.dst") ~k:1 () in
+    G.route_nodes g ~src:h1 (List.hd routes).D.hops
+  in
+  check_bool "r1 initially" true (List.mem r1 (best ()));
+  (* Report heavy load on the r1-h2 link; advisory should switch. *)
+  D.report_load dir ~link_id:2 ~utilization:0.95;
+  check_bool "steers to r2 under load" true (List.mem r2 (best ()))
+
+let lowest_cost_selector () =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props) (* 0 *);
+  ignore (G.connect g h1 r2 G.default_props) (* 1 *);
+  ignore (G.connect g r1 h2 G.default_props) (* 2 *);
+  ignore (G.connect g r2 h2 G.default_props) (* 3 *);
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  (* make the r1 path administratively expensive *)
+  D.set_link_cost dir ~link_id:0 10.0;
+  D.set_link_cost dir ~link_id:2 10.0;
+  let routes = D.query dir ~client:h1 ~target:(n "org.dst") ~selector:D.Lowest_cost ~k:1 () in
+  check_bool "avoids expensive" true
+    (List.mem r2 (G.route_nodes g ~src:h1 (List.hd routes).D.hops))
+
+let query_latency_scales_with_hierarchy () =
+  let _, _, hosts, dir = build () in
+  let near = D.query_latency dir ~client:hosts.(0) ~target:(n "edu.campus0.host4") in
+  let far = D.query_latency dir ~client:hosts.(0) ~target:(n "edu.campus2.host2") in
+  check_bool "same region cheaper" true (near < far)
+
+(* Client cache *)
+
+let client_caches () =
+  let _, _, hosts, dir = build () in
+  let engine = Sim.Engine.create () in
+  let client = Dirsvc.Client.create engine dir ~node:hosts.(0) in
+  let answers = ref 0 in
+  let target = n "edu.campus1.host5" in
+  Dirsvc.Client.routes client ~target (fun rs ->
+      check_int "routes" 2 (List.length rs);
+      incr answers;
+      (* second query: cache hit, still async *)
+      Dirsvc.Client.routes client ~target (fun _ -> incr answers));
+  Sim.Engine.run engine;
+  check_int "both answered" 2 !answers;
+  check_int "one miss" 1 (Dirsvc.Client.misses client);
+  check_int "one hit" 1 (Dirsvc.Client.hits client);
+  (* invalidate forces requery *)
+  Dirsvc.Client.invalidate client ~target;
+  Dirsvc.Client.routes client ~target (fun _ -> ());
+  Sim.Engine.run engine;
+  check_int "requeried" 2 (Dirsvc.Client.misses client)
+
+let cache_hit_is_faster () =
+  let _, _, hosts, dir = build () in
+  let engine = Sim.Engine.create () in
+  let client = Dirsvc.Client.create engine dir ~node:hosts.(0) in
+  let target = n "edu.campus2.host2" in
+  let t_miss = ref 0 and t_hit = ref 0 in
+  Dirsvc.Client.routes client ~target (fun _ ->
+      t_miss := Sim.Engine.now engine;
+      Dirsvc.Client.routes client ~target (fun _ ->
+          t_hit := Sim.Engine.now engine - !t_miss));
+  Sim.Engine.run engine;
+  check_bool "miss pays hierarchy walk" true (!t_miss >= Sim.Time.ms 2);
+  check_bool "hit is local" true (!t_hit < Sim.Time.ms 1)
+
+let monitor_reports_steer () =
+  (* Saturate the r1 path with real traffic; the monitor's utilization
+     reports steer subsequent queries to r2 with no manual report_load. *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props);
+  ignore (G.connect g h1 r2 G.default_props);
+  ignore (G.connect g r1 h2 G.default_props);
+  ignore (G.connect g r2 h2 { G.default_props with G.propagation = Sim.Time.us 50 });
+  let engine = Sim.Engine.create () in
+  let world = Netsim.World.create engine g in
+  ignore (Sirpent.Router.create world ~node:r1 ());
+  ignore (Sirpent.Router.create world ~node:r2 ());
+  let s1 = Sirpent.Host.create world ~node:h1 in
+  let s2 = Sirpent.Host.create world ~node:h2 in
+  Sirpent.Host.set_receive s2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  let monitor = Dirsvc.Monitor.create ~interval:(Sim.Time.ms 100) world dir in
+  Dirsvc.Monitor.start monitor ~until:(Sim.Time.s 1);
+  (* drive the r1 path hard (h1's port 1 leads to r1) *)
+  let metric (_ : G.link) = 1.0 in
+  let via_r1 =
+    List.find
+      (fun hops -> List.mem r1 (G.route_nodes g ~src:h1 hops))
+      (G.k_shortest_paths g ~metric ~src:h1 ~dst:h2 ~k:2)
+  in
+  let route = Sirpent.Route.of_hops g ~src:h1 via_r1 in
+  let rec blast t =
+    if t < Sim.Time.s 1 then
+      ignore
+        (Sim.Engine.schedule_at engine ~time:t (fun () ->
+             ignore (Sirpent.Host.send s1 ~route ~data:(Bytes.make 1200 'x') ());
+             blast (t + Sim.Time.ms 1)))
+  in
+  blast (Sim.Time.ms 1);
+  Sim.Engine.run ~until:(Sim.Time.s 1) engine;
+  check_bool "monitor reported" true (Dirsvc.Monitor.reports_made monitor > 0);
+  let best = D.query dir ~client:h1 ~target:(n "org.dst") ~k:1 () in
+  check_bool "advisory avoids the loaded path" true
+    (List.mem r2 (G.route_nodes g ~src:h1 (List.hd best).D.hops))
+
+let () =
+  Alcotest.run "dirsvc"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "parse/print" `Quick name_parse_print;
+          Alcotest.test_case "region" `Quick name_region;
+          Alcotest.test_case "hierarchy distance" `Quick name_distance;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "query with attributes" `Quick query_returns_routes_with_attrs;
+          Alcotest.test_case "unknown name" `Quick query_unknown_name_empty;
+          Alcotest.test_case "tokens verify at routers" `Quick tokens_verify_at_routers;
+          Alcotest.test_case "secure selector" `Quick secure_selector_filters;
+          Alcotest.test_case "load steers routes" `Quick load_reports_steer_routes;
+          Alcotest.test_case "lowest cost selector" `Quick lowest_cost_selector;
+          Alcotest.test_case "latency scales with hierarchy" `Quick
+            query_latency_scales_with_hierarchy;
+        ] );
+      ( "monitor",
+        [ Alcotest.test_case "auto load reports steer" `Quick monitor_reports_steer ] );
+      ( "client",
+        [
+          Alcotest.test_case "caches and invalidates" `Quick client_caches;
+          Alcotest.test_case "hit faster than miss" `Quick cache_hit_is_faster;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Tests for the discrete-event simulation engine and measurement tools. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Time *)
+
+let time_units () =
+  check_int "us" 1_000 (Sim.Time.us 1);
+  check_int "ms" 1_000_000 (Sim.Time.ms 1);
+  check_int "s" 1_000_000_000 (Sim.Time.s 1);
+  check_float "to_seconds" 1.5 (Sim.Time.to_seconds (Sim.Time.ms 1500))
+
+let time_transmission () =
+  (* 1500 bytes at 10 Mb/s = 1.2 ms *)
+  check_int "1500B @ 10Mbps"
+    (Sim.Time.ms 1 + Sim.Time.us 200)
+    (Sim.Time.transmission ~bits:12000 ~rate_bps:10_000_000);
+  (* rounding up *)
+  check_int "1 bit @ 1Gbps" 1 (Sim.Time.transmission ~bits:1 ~rate_bps:1_000_000_000)
+
+let time_pp () =
+  let s t = Format.asprintf "%a" Sim.Time.pp t in
+  Alcotest.(check string) "ns" "500ns" (s 500);
+  Alcotest.(check string) "us" "12.00us" (s (Sim.Time.us 12));
+  Alcotest.(check string) "ms" "3.50ms" (s (Sim.Time.us 3500))
+
+(* Rng *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let rng_split_independent () =
+  let a = Sim.Rng.create 7L in
+  let c = Sim.Rng.split a in
+  check_bool "split differs from parent stream" true
+    (Sim.Rng.bits64 a <> Sim.Rng.bits64 c)
+
+let rng_int_bounds () =
+  let rng = Sim.Rng.create 1L in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let rng_float_bounds () =
+  let rng = Sim.Rng.create 2L in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.float rng 3.0 in
+    check_bool "in range" true (v >= 0.0 && v < 3.0)
+  done
+
+let rng_exponential_mean () =
+  let rng = Sim.Rng.create 3L in
+  let n = 100_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Sim.Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 2" true (abs_float (mean -. 2.0) < 0.05)
+
+let rng_uniform_int_inclusive () =
+  let rng = Sim.Rng.create 4L in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.uniform_int rng ~lo:3 ~hi:5 in
+    check_bool "range" true (v >= 3 && v <= 5);
+    if v = 3 then seen_lo := true;
+    if v = 5 then seen_hi := true
+  done;
+  check_bool "hits lo" true !seen_lo;
+  check_bool "hits hi" true !seen_hi
+
+let rng_shuffle_permutes () =
+  let rng = Sim.Rng.create 5L in
+  let a = Array.init 20 (fun i -> i) in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
+
+(* Heap *)
+
+let heap_orders_by_time () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~time:30 ~seq:0 "c";
+  Sim.Heap.push h ~time:10 ~seq:1 "a";
+  Sim.Heap.push h ~time:20 ~seq:2 "b";
+  let pop () = match Sim.Heap.pop h with Some (_, _, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let heap_fifo_within_time () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~time:5 ~seq:0 "first";
+  Sim.Heap.push h ~time:5 ~seq:1 "second";
+  let pop () = match Sim.Heap.pop h with Some (_, _, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  Alcotest.(check (list string)) "fifo" [ "first"; "second" ] [ first; second ]
+
+let heap_many_random () =
+  let rng = Sim.Rng.create 9L in
+  let h = Sim.Heap.create () in
+  for i = 0 to 999 do
+    Sim.Heap.push h ~time:(Sim.Rng.int rng 100) ~seq:i i
+  done;
+  let last = ref min_int in
+  let count = ref 0 in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some (time, _, _) ->
+      check_bool "monotone" true (time >= !last);
+      last := time;
+      incr count;
+      drain ()
+  in
+  drain ();
+  check_int "all popped" 1000 !count
+
+(* Engine *)
+
+let engine_runs_in_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~delay:30 (fun () -> log := 3 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:10 (fun () -> log := 1 :: !log));
+  ignore (Sim.Engine.schedule e ~delay:20 (fun () -> log := 2 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" 30 (Sim.Engine.now e)
+
+let engine_nested_schedule () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Sim.Engine.schedule e ~delay:10 (fun () ->
+         ignore (Sim.Engine.schedule e ~delay:5 (fun () -> fired := Sim.Engine.now e))));
+  Sim.Engine.run e;
+  check_int "nested at 15" 15 !fired
+
+let engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  check_bool "cancelled" false !fired
+
+let engine_until_stops_clock () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  ignore (Sim.Engine.schedule e ~delay:100 (fun () -> fired := true));
+  Sim.Engine.run ~until:50 e;
+  check_bool "not yet" false !fired;
+  check_int "clock advanced to until" 50 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_bool "eventually" true !fired
+
+let engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~delay:10 (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Sim.Engine.schedule_at e ~time:5 (fun () -> ())))
+
+let engine_max_events () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec loop () =
+    incr count;
+    ignore (Sim.Engine.schedule e ~delay:1 loop)
+  in
+  ignore (Sim.Engine.schedule e ~delay:1 loop);
+  Sim.Engine.run ~max_events:100 e;
+  check_int "bounded" 100 !count
+
+(* Stats *)
+
+let summary_basics () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "mean" 2.5 (Sim.Stats.Summary.mean s);
+  check_float "min" 1.0 (Sim.Stats.Summary.min s);
+  check_float "max" 4.0 (Sim.Stats.Summary.max s);
+  check_float "variance" 1.25 (Sim.Stats.Summary.variance s)
+
+let summary_empty () =
+  let s = Sim.Stats.Summary.create () in
+  check_float "mean 0" 0.0 (Sim.Stats.Summary.mean s);
+  check_int "count" 0 (Sim.Stats.Summary.count s)
+
+let histogram_percentile () =
+  let h = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:100 in
+  for i = 1 to 100 do
+    Sim.Stats.Histogram.add h (float_of_int i -. 0.5)
+  done;
+  check_float "p50" 50.0 (Sim.Stats.Histogram.percentile h 0.5);
+  check_float "p99" 99.0 (Sim.Stats.Histogram.percentile h 0.99)
+
+let histogram_clamps () =
+  let h = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:10 in
+  Sim.Stats.Histogram.add h (-5.0);
+  Sim.Stats.Histogram.add h 100.0;
+  check_int "bucket0" 1 (Sim.Stats.Histogram.bucket_count h 0);
+  check_int "bucket9" 1 (Sim.Stats.Histogram.bucket_count h 9)
+
+let timeweighted_mean () =
+  let tw = Sim.Stats.Timeweighted.create ~start:0 ~initial:0.0 in
+  Sim.Stats.Timeweighted.set tw ~now:10 2.0;
+  (* 0 for [0,10), 2 for [10,20) -> mean 1.0 at t=20 *)
+  check_float "mean" 1.0 (Sim.Stats.Timeweighted.mean tw ~now:20);
+  check_float "max" 2.0 (Sim.Stats.Timeweighted.max tw)
+
+let timeweighted_rejects_backwards () =
+  let tw = Sim.Stats.Timeweighted.create ~start:0 ~initial:0.0 in
+  Sim.Stats.Timeweighted.set tw ~now:10 1.0;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeweighted.set: time went backwards") (fun () ->
+      Sim.Stats.Timeweighted.set tw ~now:5 2.0)
+
+let rate_window () =
+  let r = Sim.Stats.Rate.create ~window:(Sim.Time.s 1) in
+  (* 10 events of 1.0 in the window *)
+  for i = 1 to 10 do
+    Sim.Stats.Rate.tick r ~now:(i * Sim.Time.ms 50) ~amount:1.0
+  done;
+  check_float "rate" 10.0 (Sim.Stats.Rate.per_second r ~now:(Sim.Time.ms 500));
+  (* far in the future everything expired *)
+  check_float "expired" 0.0 (Sim.Stats.Rate.per_second r ~now:(Sim.Time.s 10))
+
+(* Trace *)
+
+let trace_records_and_dumps () =
+  let tr = Sim.Trace.create ~capacity:8 () in
+  Sim.Trace.record tr ~time:(Sim.Time.us 5) "first";
+  Sim.Trace.recordf tr ~time:(Sim.Time.us 7) "port %d" 3;
+  check_int "size" 2 (Sim.Trace.size tr);
+  check_int "total" 2 (Sim.Trace.total tr);
+  (match Sim.Trace.entries tr with
+  | [ (t1, "first"); (t2, "port 3") ] ->
+    check_int "time1" (Sim.Time.us 5) t1;
+    check_int "time2" (Sim.Time.us 7) t2
+  | _ -> Alcotest.fail "entries");
+  check_bool "dump has both lines" true
+    (String.length (Sim.Trace.dump tr) > 10)
+
+let trace_ring_overwrites () =
+  let tr = Sim.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Sim.Trace.recordf tr ~time:i "e%d" i
+  done;
+  check_int "retains capacity" 3 (Sim.Trace.size tr);
+  check_int "total counts all" 5 (Sim.Trace.total tr);
+  Alcotest.(check (list string)) "oldest dropped" [ "e3"; "e4"; "e5" ]
+    (List.map snd (Sim.Trace.entries tr));
+  Sim.Trace.clear tr;
+  check_int "cleared" 0 (Sim.Trace.size tr)
+
+let qcheck_engine_order =
+  QCheck.Test.make ~name:"events always run in nondecreasing time order" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 100) (int_range 0 1000))
+    (fun delays ->
+      let e = Sim.Engine.create () in
+      let ok = ref true in
+      let last = ref 0 in
+      List.iter
+        (fun d ->
+          ignore
+            (Sim.Engine.schedule e ~delay:d (fun () ->
+                 if Sim.Engine.now e < !last then ok := false;
+                 last := Sim.Engine.now e)))
+        delays;
+      Sim.Engine.run e;
+      !ok)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick time_units;
+          Alcotest.test_case "transmission" `Quick time_transmission;
+          Alcotest.test_case "pretty printing" `Quick time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "uniform_int inclusive" `Quick rng_uniform_int_inclusive;
+          Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders by time" `Quick heap_orders_by_time;
+          Alcotest.test_case "fifo within a time" `Quick heap_fifo_within_time;
+          Alcotest.test_case "many random" `Quick heap_many_random;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick engine_runs_in_order;
+          Alcotest.test_case "nested scheduling" `Quick engine_nested_schedule;
+          Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "until stops clock" `Quick engine_until_stops_clock;
+          Alcotest.test_case "rejects the past" `Quick engine_rejects_past;
+          Alcotest.test_case "max_events bounds" `Quick engine_max_events;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary basics" `Quick summary_basics;
+          Alcotest.test_case "summary empty" `Quick summary_empty;
+          Alcotest.test_case "histogram percentile" `Quick histogram_percentile;
+          Alcotest.test_case "histogram clamps" `Quick histogram_clamps;
+          Alcotest.test_case "timeweighted mean" `Quick timeweighted_mean;
+          Alcotest.test_case "timeweighted monotone" `Quick timeweighted_rejects_backwards;
+          Alcotest.test_case "rate window" `Quick rate_window;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records and dumps" `Quick trace_records_and_dumps;
+          Alcotest.test_case "ring overwrites" `Quick trace_ring_overwrites;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_engine_order ] );
+    ]

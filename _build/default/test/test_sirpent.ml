@@ -1,0 +1,734 @@
+(* Integration tests for the Sirpent core: routers, hosts, cut-through
+   timing, tokens on the data path, multicast, logical links, congestion
+   control. *)
+
+module G = Topo.Graph
+module W = Netsim.World
+module Seg = Viper.Segment
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let props = G.default_props
+
+(* A host-R1-...-Rn-host chain; returns world pieces. *)
+let chain ?config n_routers =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host in
+  let routers = Array.init n_routers (fun _ -> G.add_node g G.Router) in
+  let h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 routers.(0) props);
+  for i = 0 to n_routers - 2 do
+    ignore (G.connect g routers.(i) routers.(i + 1) props)
+  done;
+  ignore (G.connect g routers.(n_routers - 1) h2 props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router_objs =
+    Array.map (fun r -> Sirpent.Router.create ?config world ~node:r ()) routers
+  in
+  let host1 = Sirpent.Host.create world ~node:h1 in
+  let host2 = Sirpent.Host.create world ~node:h2 in
+  (g, engine, world, host1, host2, router_objs)
+
+let metric (_ : G.link) = 1.0
+
+let route_between g ~src ~dst =
+  match G.shortest_path g ~metric ~src ~dst with
+  | Some hops -> Sirpent.Route.of_hops g ~src hops
+  | None -> Alcotest.fail "no path"
+
+let delivery_end_to_end () =
+  let g, engine, _w, h1, h2, _ = chain 3 in
+  let route = route_between g ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2) in
+  let got = ref None in
+  Sirpent.Host.set_receive h2 (fun _ ~packet ~in_port:_ -> got := Some packet);
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.of_string "hello sirpent") ());
+  Sim.Engine.run engine;
+  match !got with
+  | None -> Alcotest.fail "not delivered"
+  | Some p ->
+    Alcotest.(check string) "data" "hello sirpent" (Bytes.to_string p.Viper.Packet.data);
+    check_int "trailer hops = routers" 3 (List.length p.Viper.Packet.trailer)
+
+let reply_via_trailer () =
+  let g, engine, _w, h1, h2, routers = chain 4 in
+  let route = route_between g ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2) in
+  let reply_data = ref None in
+  Sirpent.Host.set_receive h2 (fun h ~packet ~in_port ->
+      ignore (Sirpent.Host.reply h ~to_packet:packet ~in_port ~data:(Bytes.of_string "pong") ()));
+  Sirpent.Host.set_receive h1 (fun _ ~packet ~in_port:_ ->
+      reply_data := Some (Bytes.to_string packet.Viper.Packet.data));
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.of_string "ping") ());
+  Sim.Engine.run engine;
+  Alcotest.(check (option string)) "pong" (Some "pong") !reply_data;
+  (* each router forwarded twice: once per direction *)
+  Array.iter
+    (fun r -> check_int "forwarded both ways" 2 (Sirpent.Router.stats r).Sirpent.Router.forwarded)
+    routers
+
+let cut_through_beats_store_and_forward () =
+  (* Same 5-router chain; cut-through vs forced store-and-forward. *)
+  let run config =
+    let g, engine, _w, h1, h2, _ = chain ?config 5 in
+    let route = route_between g ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2) in
+    let arrival = ref 0 in
+    Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> arrival := Sim.Engine.now engine);
+    ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 1000 'x') ());
+    Sim.Engine.run engine;
+    !arrival
+  in
+  let cut = run None in
+  let sf =
+    run
+      (Some
+         { Sirpent.Router.default_config with Sirpent.Router.store_and_forward = true })
+  in
+  check_bool "both delivered" true (cut > 0 && sf > 0);
+  (* Store-and-forward pays ~1 packet time (~800us at 10 Mb/s) per hop. *)
+  check_bool "cut-through at least 3x faster over 5 hops" true (sf > 3 * cut)
+
+let store_and_forward_when_rates_differ () =
+  (* Mixed rates force the fallback. *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and r = G.add_node g G.Router and h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 r props);
+  ignore (G.connect g r h2 { props with G.bandwidth_bps = 100_000_000 });
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router = Sirpent.Router.create world ~node:r () in
+  let host1 = Sirpent.Host.create world ~node:h1 in
+  let host2 = Sirpent.Host.create world ~node:h2 in
+  Sirpent.Host.set_receive host2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let route = route_between g ~src:h1 ~dst:h2 in
+  ignore (Sirpent.Host.send host1 ~route ~data:(Bytes.make 100 'x') ());
+  Sim.Engine.run engine;
+  let st = Sirpent.Router.stats router in
+  check_int "no cut-through" 0 st.Sirpent.Router.cut_throughs;
+  check_int "stored instead" 1 st.Sirpent.Router.stored_forwards
+
+let token_required_rejects_bare () =
+  let config =
+    { Sirpent.Router.default_config with Sirpent.Router.require_tokens = true }
+  in
+  let g, engine, _w, h1, h2, routers = chain ~config 1 in
+  let route = route_between g ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2) in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.of_string "no token") ());
+  Sim.Engine.run engine;
+  check_int "nothing delivered" 0 (Sirpent.Host.received h2);
+  check_int "counted unauthorized" 1
+    (Sirpent.Router.stats routers.(0)).Sirpent.Router.unauthorized
+
+let token_valid_admits_and_accounts () =
+  let config =
+    { Sirpent.Router.default_config with Sirpent.Router.require_tokens = true }
+  in
+  let g, engine, _w, h1, h2, routers = chain ~config 1 in
+  let rnode = Sirpent.Router.node routers.(0) in
+  let hops = Option.get (G.shortest_path g ~metric ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2)) in
+  let out_port = (List.nth hops 1).G.out in
+  let key = Token.Cipher.random_looking_key rnode in
+  let grant =
+    {
+      Token.Capability.router_id = rnode;
+      port = out_port;
+      max_priority = 7;
+      reverse_ok = true;
+      account = 777;
+      packet_limit = 0;
+      expiry_ms = 0;
+    }
+  in
+  let tok = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:1 grant) in
+  let route = Sirpent.Route.of_hops ~tokens:[ tok ] g ~src:(Sirpent.Host.node h1) hops in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  (* two packets: first is an optimistic miss, second hits the cache *)
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 100 'a') ());
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.ms 10) (fun () ->
+         ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 100 'b') ())));
+  Sim.Engine.run engine;
+  check_int "both delivered" 2 (Sirpent.Host.received h2);
+  let ledger = Sirpent.Router.ledger routers.(0) in
+  let usage = Token.Account.usage ledger ~account:777 in
+  check_bool "second packet charged via cache" true (usage.Token.Account.packets >= 1)
+
+let forged_token_blocked_after_verification () =
+  let config =
+    { Sirpent.Router.default_config with Sirpent.Router.require_tokens = true }
+  in
+  let g, engine, _w, h1, h2, routers = chain ~config 1 in
+  let hops = Option.get (G.shortest_path g ~metric ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2)) in
+  let bad = Token.Capability.to_bytes (Token.Capability.forged ()) in
+  let route = Sirpent.Route.of_hops ~tokens:[ bad ] g ~src:(Sirpent.Host.node h1) hops in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  (* Optimistic: the first packet slips through, then the cache denies. *)
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 10 'x') ());
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.schedule engine ~delay:(i * Sim.Time.ms 5) (fun () ->
+           ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 10 'x') ())))
+  done;
+  Sim.Engine.run engine;
+  check_int "only the optimistic packet leaked" 1 (Sirpent.Host.received h2);
+  check_bool "rest unauthorized" true
+    ((Sirpent.Router.stats routers.(0)).Sirpent.Router.unauthorized >= 4)
+
+let block_policy_defers () =
+  let config =
+    {
+      Sirpent.Router.default_config with
+      Sirpent.Router.require_tokens = true;
+      token_policy = Token.Cache.Block;
+    }
+  in
+  let g, engine, _w, h1, h2, routers = chain ~config 1 in
+  let rnode = Sirpent.Router.node routers.(0) in
+  let hops = Option.get (G.shortest_path g ~metric ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2)) in
+  let out_port = (List.nth hops 1).G.out in
+  let key = Token.Cipher.random_looking_key rnode in
+  let grant =
+    {
+      Token.Capability.router_id = rnode;
+      port = out_port;
+      max_priority = 7;
+      reverse_ok = true;
+      account = 1;
+      packet_limit = 0;
+      expiry_ms = 0;
+    }
+  in
+  let tok = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:1 grant) in
+  let route = Sirpent.Route.of_hops ~tokens:[ tok ] g ~src:(Sirpent.Host.node h1) hops in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.make 10 'x') ());
+  Sim.Engine.run engine;
+  check_int "delivered after deferral" 1 (Sirpent.Host.received h2);
+  check_int "was deferred" 1 (Sirpent.Router.stats routers.(0)).Sirpent.Router.deferred
+
+let dib_dropped_when_blocked () =
+  (* Two senders into one output port; second frame arrives while busy. *)
+  let g = G.create () in
+  let ha = G.add_node g G.Host and hb = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let hc = G.add_node g G.Host in
+  ignore (G.connect g ha r props);
+  ignore (G.connect g hb r props);
+  ignore (G.connect g r hc props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let host_a = Sirpent.Host.create world ~node:ha in
+  let host_b = Sirpent.Host.create world ~node:hb in
+  let host_c = Sirpent.Host.create world ~node:hc in
+  Sirpent.Host.set_receive host_c (fun _ ~packet:_ ~in_port:_ -> ());
+  let route_a = route_between g ~src:ha ~dst:hc in
+  let route_b = route_between g ~src:hb ~dst:hc in
+  (* Big packet from A occupies the port; DIB packet from B must drop. *)
+  ignore (Sirpent.Host.send host_a ~route:route_a ~data:(Bytes.make 1400 'A') ());
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 300) (fun () ->
+         ignore
+           (Sirpent.Host.send host_b ~route:route_b ~drop_if_blocked:true
+              ~data:(Bytes.make 1400 'B') ())));
+  Sim.Engine.run engine;
+  check_int "only A delivered" 1 (Sirpent.Host.received host_c)
+
+let preemption_by_priority_7 () =
+  let g = G.create () in
+  let ha = G.add_node g G.Host and hb = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let hc = G.add_node g G.Host in
+  ignore (G.connect g ha r props);
+  ignore (G.connect g hb r props);
+  ignore (G.connect g r hc props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let host_a = Sirpent.Host.create world ~node:ha in
+  let host_b = Sirpent.Host.create world ~node:hb in
+  let host_c = Sirpent.Host.create world ~node:hc in
+  let received_first = ref "" in
+  Sirpent.Host.set_receive host_c (fun _ ~packet ~in_port:_ ->
+      if !received_first = "" then
+        received_first := String.make 1 (Bytes.get packet.Viper.Packet.data 0));
+  let route_a = route_between g ~src:ha ~dst:hc in
+  let route_b = route_between g ~src:hb ~dst:hc in
+  (* A's low-priority bulk transfer is in flight; B's priority-7 packet
+     preempts it mid-transmission. *)
+  ignore (Sirpent.Host.send host_a ~route:route_a ~data:(Bytes.make 1400 'A') ());
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 400) (fun () ->
+         ignore
+           (Sirpent.Host.send host_b ~route:route_b ~priority:7
+              ~data:(Bytes.make 100 'B') ())));
+  Sim.Engine.run engine;
+  Alcotest.(check string) "urgent first" "B" !received_first;
+  (* A's packet was killed in flight: only B arrives. *)
+  check_int "one delivery" 1 (Sirpent.Host.received host_c)
+
+let broadcast_port_copies () =
+  (* hub router with 3 leaf hosts; broadcast from one reaches the others *)
+  let g = G.create () in
+  let r = G.add_node g G.Router in
+  let hosts = Array.init 3 (fun _ -> G.add_node g G.Host) in
+  Array.iter (fun h -> ignore (G.connect g r h props)) hosts;
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let shosts = Array.map (fun h -> Sirpent.Host.create world ~node:h) hosts in
+  Array.iter (fun h -> Sirpent.Host.set_receive h (fun _ ~packet:_ ~in_port:_ -> ())) shosts;
+  (* route: to router, then broadcast port, then local at receivers *)
+  let route =
+    {
+      Sirpent.Route.first_port = 1;
+      segments =
+        [
+          Seg.make ~port:Seg.broadcast_port ();
+          Seg.make ~port:Seg.local_port ();
+        ];
+    }
+  in
+  ignore (Sirpent.Host.send shosts.(0) ~route ~data:(Bytes.of_string "bcast") ());
+  Sim.Engine.run engine;
+  check_int "other two got it" 1 (Sirpent.Host.received shosts.(1));
+  check_int "other two got it (2)" 1 (Sirpent.Host.received shosts.(2));
+  check_int "sender did not" 0 (Sirpent.Host.received shosts.(0))
+
+let group_port_copies () =
+  let g = G.create () in
+  let r = G.add_node g G.Router in
+  let hosts = Array.init 4 (fun _ -> G.add_node g G.Host) in
+  let ports = Array.map (fun h -> fst (G.connect g r h props)) hosts in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router = Sirpent.Router.create world ~node:r () in
+  (* group port 240 -> hosts 1 and 2 only *)
+  Sirpent.Router.set_port_group router ~port:240 ~ports:[ ports.(1); ports.(2) ];
+  let shosts = Array.map (fun h -> Sirpent.Host.create world ~node:h) hosts in
+  Array.iter (fun h -> Sirpent.Host.set_receive h (fun _ ~packet:_ ~in_port:_ -> ())) shosts;
+  let route =
+    {
+      Sirpent.Route.first_port = 1;
+      segments = [ Seg.make ~port:240 (); Seg.make ~port:Seg.local_port () ];
+    }
+  in
+  ignore (Sirpent.Host.send shosts.(0) ~route ~data:(Bytes.of_string "grp") ());
+  Sim.Engine.run engine;
+  check_int "host1" 1 (Sirpent.Host.received shosts.(1));
+  check_int "host2" 1 (Sirpent.Host.received shosts.(2));
+  check_int "host3 not in group" 0 (Sirpent.Host.received shosts.(3))
+
+let tree_multicast_splits () =
+  (* r has two downstream hosts; a tree segment carries both branches *)
+  let g = G.create () in
+  let h0 = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  ignore (G.connect g h0 r props);
+  let p1 = fst (G.connect g r h1 props) in
+  let p2 = fst (G.connect g r h2 props) in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let s0 = Sirpent.Host.create world ~node:h0 in
+  let s1 = Sirpent.Host.create world ~node:h1 in
+  let s2 = Sirpent.Host.create world ~node:h2 in
+  Sirpent.Host.set_receive s1 (fun _ ~packet:_ ~in_port:_ -> ());
+  Sirpent.Host.set_receive s2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let branch p = [ Seg.make ~port:p (); Seg.make ~port:Seg.local_port () ] in
+  let tree = Viper.Multicast.tree_segment ~branches:[ branch p1; branch p2 ] () in
+  let route = { Sirpent.Route.first_port = 1; segments = [ tree ] } in
+  ignore (Sirpent.Host.send s0 ~route ~data:(Bytes.of_string "tree") ());
+  Sim.Engine.run engine;
+  check_int "branch 1" 1 (Sirpent.Host.received s1);
+  check_int "branch 2" 1 (Sirpent.Host.received s2)
+
+let logical_group_balances () =
+  (* Two parallel trunks between r1 and r2 behind one logical port. *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and r1 = G.add_node g G.Router in
+  let r2 = G.add_node g G.Router and h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 r1 props);
+  let t1 = fst (G.connect g r1 r2 props) in
+  let t2 = fst (G.connect g r1 r2 props) in
+  let p_out = fst (G.connect g r2 h2 props) in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router1 = Sirpent.Router.create world ~node:r1 () in
+  ignore (Sirpent.Router.create world ~node:r2 ());
+  let logical_port = 100 in
+  Sirpent.Logical.set (Sirpent.Router.logical router1) ~port:logical_port
+    (Sirpent.Logical.Group [ t1; t2 ]);
+  let s1 = Sirpent.Host.create world ~node:h1 in
+  let s2 = Sirpent.Host.create world ~node:h2 in
+  Sirpent.Host.set_receive s2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let route =
+    {
+      Sirpent.Route.first_port = 1;
+      segments =
+        [
+          Seg.make ~port:logical_port ();
+          Seg.make ~port:p_out ();
+          Seg.make ~port:Seg.local_port ();
+        ];
+    }
+  in
+  (* burst of 6 back-to-back packets: they should spread over both trunks *)
+  for _ = 1 to 6 do
+    ignore (Sirpent.Host.send s1 ~route ~data:(Bytes.make 1200 'z') ())
+  done;
+  Sim.Engine.run engine;
+  check_int "all delivered" 6 (Sirpent.Host.received s2);
+  let sent p = (W.port_stats world ~node:r1 ~port:p).W.sent_frames in
+  check_bool "both trunks used" true (sent t1 > 0 && sent t2 > 0)
+
+let logical_splice_expands () =
+  (* r1 maps logical port 100 to the 2-hop physical route to h2. *)
+  let g, engine, world, h1, h2, routers = chain 3 in
+  ignore world;
+  let r1 = routers.(0) in
+  let hops =
+    Option.get
+      (G.shortest_path g ~metric ~src:(Sirpent.Router.node r1)
+         ~dst:(Sirpent.Host.node h2))
+  in
+  let expansion = List.map (fun h -> Seg.make ~port:h.G.out ()) hops in
+  Sirpent.Logical.set (Sirpent.Router.logical r1) ~port:100
+    (Sirpent.Logical.Splice expansion);
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let route =
+    {
+      Sirpent.Route.first_port = 1;
+      segments = [ Seg.make ~port:100 (); Seg.make ~port:Seg.local_port () ];
+    }
+  in
+  ignore (Sirpent.Host.send h1 ~route ~data:(Bytes.of_string "spliced") ());
+  Sim.Engine.run engine;
+  check_int "delivered through expansion" 1 (Sirpent.Host.received h2);
+  check_int "splice counted" 1 (Sirpent.Router.stats r1).Sirpent.Router.spliced
+
+let mtu_truncation_detected () =
+  (* Second link has a small MTU; the packet is truncated and marked. *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and r = G.add_node g G.Router and h2 = G.add_node g G.Host in
+  ignore (G.connect g h1 r props);
+  ignore (G.connect g r h2 { props with G.mtu = 256 });
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let s1 = Sirpent.Host.create world ~node:h1 in
+  let s2 = Sirpent.Host.create world ~node:h2 in
+  let truncated = ref false in
+  Sirpent.Host.set_receive s2 (fun _ ~packet ~in_port:_ ->
+      truncated := Viper.Packet.truncated packet);
+  let route = route_between g ~src:h1 ~dst:h2 in
+  ignore (Sirpent.Host.send s1 ~route ~data:(Bytes.make 1000 'x') ());
+  Sim.Engine.run engine;
+  check_bool "receiver sees truncation" true !truncated
+
+let congestion_backpressure_reduces_loss () =
+  (* Two hosts blast a shared 1.5 Mb/s trunk. With rate control ON the
+     routers hold packets upstream instead of overflowing the trunk queue. *)
+  let run congestion =
+    let g = G.create () in
+    let ha = G.add_node g G.Host and hb = G.add_node g G.Host in
+    let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+    let hc = G.add_node g G.Host in
+    ignore (G.connect g ha r1 props);
+    ignore (G.connect g hb r1 props);
+    let trunk = fst (G.connect g r1 r2 { props with G.bandwidth_bps = 1_500_000 }) in
+    ignore (G.connect g r2 hc props);
+    let engine = Sim.Engine.create () in
+    let world = W.create engine g in
+    (* small trunk buffer to surface overflow quickly *)
+    W.set_buffer_bytes world ~node:r1 ~port:trunk (16 * 1024);
+    let config = { Sirpent.Router.default_config with Sirpent.Router.congestion } in
+    ignore (Sirpent.Router.create ~config world ~node:r1 ());
+    ignore (Sirpent.Router.create ~config world ~node:r2 ());
+    let sa = Sirpent.Host.create world ~node:ha in
+    let sb = Sirpent.Host.create world ~node:hb in
+    let sc = Sirpent.Host.create world ~node:hc in
+    Sirpent.Host.set_receive sc (fun _ ~packet:_ ~in_port:_ -> ());
+    let route_a = route_between g ~src:ha ~dst:hc in
+    let route_b = route_between g ~src:hb ~dst:hc in
+    (* each host sends 1000-byte packets every 1 ms = 8 Mb/s each *)
+    let rec blast host route n t =
+      if n > 0 then
+        ignore
+          (Sim.Engine.schedule_at engine ~time:t (fun () ->
+               ignore (Sirpent.Host.send host ~route ~data:(Bytes.make 1000 'c') ());
+               blast host route (n - 1) (t + Sim.Time.ms 1)))
+    in
+    blast sa route_a 200 (Sim.Time.ms 1);
+    blast sb route_b 200 (Sim.Time.ms 1);
+    Sim.Engine.run ~until:(Sim.Time.s 3) engine;
+    let st = W.port_stats world ~node:r1 ~port:trunk in
+    (st.W.dropped_overflow, Sirpent.Host.received sc)
+  in
+  let drops_off, _ = run None in
+  let drops_on, received_on = run (Some Sirpent.Congestion.default_config) in
+  check_bool "uncontrolled overflows" true (drops_off > 0);
+  check_bool "backpressure prevents most overflow" true (drops_on * 4 < drops_off);
+  check_bool "still delivers" true (received_on > 100)
+
+let congestion_ctl_messages_flow () =
+  let g = G.create () in
+  let ha = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  let hc = G.add_node g G.Host in
+  ignore (G.connect g ha r1 props);
+  ignore (G.connect g r1 r2 { props with G.bandwidth_bps = 500_000 });
+  ignore (G.connect g r2 hc props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let config =
+    {
+      Sirpent.Router.default_config with
+      Sirpent.Router.congestion = Some Sirpent.Congestion.default_config;
+    }
+  in
+  let router1 = Sirpent.Router.create ~config world ~node:r1 () in
+  ignore (Sirpent.Router.create ~config world ~node:r2 ());
+  let sa = Sirpent.Host.create world ~node:ha in
+  let sc = Sirpent.Host.create world ~node:hc in
+  Sirpent.Host.set_receive sc (fun _ ~packet:_ ~in_port:_ -> ());
+  let route = route_between g ~src:ha ~dst:hc in
+  let rec blast n t =
+    if n > 0 then
+      ignore
+        (Sim.Engine.schedule_at engine ~time:t (fun () ->
+             ignore (Sirpent.Host.send sa ~route ~data:(Bytes.make 1000 'c') ());
+             blast (n - 1) (t + Sim.Time.us 500)))
+  in
+  blast 300 (Sim.Time.ms 1);
+  Sim.Engine.run ~until:(Sim.Time.s 2) engine;
+  match Sirpent.Router.congestion router1 with
+  | None -> Alcotest.fail "congestion enabled"
+  | Some c ->
+    check_bool "router under congestion signals upstream" true
+      (Sirpent.Congestion.ctl_sent c > 0);
+    (* host saw the signal *)
+    check_bool "host received rate signal" true (Sirpent.Host.rate_signal sa <> None)
+
+let delay_line_recirculates () =
+  (* Bufferless switch: a blocked packet circulates the delay line and is
+     transmitted when the port frees; the output queue is never used. *)
+  let config =
+    {
+      Sirpent.Router.default_config with
+      Sirpent.Router.blocked =
+        Sirpent.Router.Delay_line { delay = Sim.Time.us 100; max_circuits = 50 };
+    }
+  in
+  let g = G.create () in
+  let ha = G.add_node g G.Host and hb = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let hc = G.add_node g G.Host in
+  ignore (G.connect g ha r props);
+  ignore (G.connect g hb r props);
+  let out_port = fst (G.connect g r hc props) in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router = Sirpent.Router.create ~config world ~node:r () in
+  let host_a = Sirpent.Host.create world ~node:ha in
+  let host_b = Sirpent.Host.create world ~node:hb in
+  let host_c = Sirpent.Host.create world ~node:hc in
+  Sirpent.Host.set_receive host_c (fun _ ~packet:_ ~in_port:_ -> ());
+  let route_a = route_between g ~src:ha ~dst:hc in
+  let route_b = route_between g ~src:hb ~dst:hc in
+  let max_queue = ref 0.0 in
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 500) (fun () ->
+         max_queue := (W.port_stats world ~node:r ~port:out_port).W.max_queue));
+  ignore (Sirpent.Host.send host_a ~route:route_a ~data:(Bytes.make 1400 'A') ());
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 300) (fun () ->
+         ignore (Sirpent.Host.send host_b ~route:route_b ~data:(Bytes.make 200 'B') ())));
+  Sim.Engine.run engine;
+  check_int "both delivered" 2 (Sirpent.Host.received host_c);
+  check_bool "packet circulated" true
+    ((Sirpent.Router.stats router).Sirpent.Router.delay_line_circuits > 0);
+  check_bool "queue never used" true (!max_queue = 0.0)
+
+let delay_line_drops_after_max_circuits () =
+  let config =
+    {
+      Sirpent.Router.default_config with
+      Sirpent.Router.blocked =
+        Sirpent.Router.Delay_line { delay = Sim.Time.us 50; max_circuits = 3 };
+    }
+  in
+  let g = G.create () in
+  let ha = G.add_node g G.Host and hb = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let hc = G.add_node g G.Host in
+  ignore (G.connect g ha r props);
+  ignore (G.connect g hb r props);
+  ignore (G.connect g r hc props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router = Sirpent.Router.create ~config world ~node:r () in
+  let host_a = Sirpent.Host.create world ~node:ha in
+  let host_b = Sirpent.Host.create world ~node:hb in
+  let host_c = Sirpent.Host.create world ~node:hc in
+  Sirpent.Host.set_receive host_c (fun _ ~packet:_ ~in_port:_ -> ());
+  (* A's 1400 B packet occupies the port for 1.12 ms; B's packet can only
+     circulate 3 x 50 us and must be dropped *)
+  ignore (Sirpent.Host.send host_a ~route:(route_between g ~src:ha ~dst:hc) ~data:(Bytes.make 1400 'A') ());
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 100) (fun () ->
+         ignore
+           (Sirpent.Host.send host_b ~route:(route_between g ~src:hb ~dst:hc)
+              ~data:(Bytes.make 200 'B') ())));
+  Sim.Engine.run engine;
+  check_int "only A delivered" 1 (Sirpent.Host.received host_c);
+  check_int "3 circuits" 3 (Sirpent.Router.stats router).Sirpent.Router.delay_line_circuits;
+  check_bool "then dropped" true ((Sirpent.Router.stats router).Sirpent.Router.send_drops > 0)
+
+let multicast_agent_explodes () =
+  (* Â§2 third mechanism: route to an agent which re-sends along its
+     configured routes. *)
+  let g = G.create () in
+  let src = G.add_node g G.Host in
+  let r = G.add_node g G.Router in
+  let agent = G.add_node g G.Host in
+  let m1 = G.add_node g G.Host and m2 = G.add_node g G.Host in
+  ignore (G.connect g src r props);
+  ignore (G.connect g r agent props);
+  ignore (G.connect g r m1 props);
+  ignore (G.connect g r m2 props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:r ());
+  let h_src = Sirpent.Host.create world ~node:src in
+  let h_agent = Sirpent.Host.create world ~node:agent in
+  let h_m1 = Sirpent.Host.create world ~node:m1 in
+  let h_m2 = Sirpent.Host.create world ~node:m2 in
+  Sirpent.Host.set_receive h_m1 (fun _ ~packet:_ ~in_port:_ -> ());
+  Sirpent.Host.set_receive h_m2 (fun _ ~packet:_ ~in_port:_ -> ());
+  let member_routes =
+    [ route_between g ~src:agent ~dst:m1; route_between g ~src:agent ~dst:m2 ]
+  in
+  Sirpent.Host.set_receive h_agent (fun h ~packet ~in_port:_ ->
+      let sent =
+        Sirpent.Host.explode h ~routes:member_routes ~data:packet.Viper.Packet.data ()
+      in
+      check_int "agent sent both copies" 2 sent);
+  ignore
+    (Sirpent.Host.send h_src
+       ~route:(route_between g ~src ~dst:agent)
+       ~data:(Bytes.of_string "to the group") ());
+  Sim.Engine.run engine;
+  check_int "member 1" 1 (Sirpent.Host.received h_m1);
+  check_int "member 2" 1 (Sirpent.Host.received h_m2)
+
+let multihomed_host_survives_interface_failure () =
+  (* Â§2.2: "the host interface can fail and cause the communication to
+     fail even though the host may still be reachable through a separate
+     host interface" — Sirpent's source routes name the interface, so the
+     client just uses a route over its other port. *)
+  let g = G.create () in
+  let client = G.add_node g G.Host and server = G.add_node g G.Host in
+  let ra = G.add_node g G.Router and rb = G.add_node g G.Router in
+  ignore (G.connect g client ra props) (* client port 1 *);
+  ignore (G.connect g client rb props) (* client port 2 *);
+  ignore (G.connect g ra server props);
+  ignore (G.connect g rb server props);
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  ignore (Sirpent.Router.create world ~node:ra ());
+  ignore (Sirpent.Router.create world ~node:rb ());
+  let h_client = Sirpent.Host.create world ~node:client in
+  let h_server = Sirpent.Host.create world ~node:server in
+  Sirpent.Host.set_receive h_server (fun _ ~packet:_ ~in_port:_ -> ());
+  let paths = G.k_shortest_paths g ~metric ~src:client ~dst:server ~k:2 in
+  let routes = List.map (fun p -> Sirpent.Route.of_hops g ~src:client p) paths in
+  let via_port p = List.find (fun r -> r.Sirpent.Route.first_port = p) routes in
+  (* kill the client's first interface *)
+  (match G.link_via g client 1 with
+  | Some l -> W.fail_link world l
+  | None -> Alcotest.fail "interface");
+  (* a route over the dead interface fails at the host... *)
+  (match Sirpent.Host.send h_client ~route:(via_port 1) ~data:(Bytes.make 10 'x') () with
+  | W.Dropped_no_link -> ()
+  | _ -> Alcotest.fail "expected interface failure");
+  (* ...but the same host delivers over its second interface *)
+  ignore (Sirpent.Host.send h_client ~route:(via_port 2) ~data:(Bytes.make 10 'y') ());
+  Sim.Engine.run engine;
+  check_int "delivered via second interface" 1 (Sirpent.Host.received h_server)
+
+let misrouted_packet_counted () =
+  (* Deliver a packet whose final segment is not local: host counts it. *)
+  let g, engine, _w, h1, h2, _ = chain 1 in
+  let hops = Option.get (G.shortest_path g ~metric ~src:(Sirpent.Host.node h1) ~dst:(Sirpent.Host.node h2)) in
+  (* Build a route whose last segment names port 5 instead of local. *)
+  let segments =
+    match Sirpent.Route.of_hops g ~src:(Sirpent.Host.node h1) hops with
+    | { Sirpent.Route.segments; first_port } ->
+      let rec replace_last = function
+        | [] -> []
+        | [ _ ] -> [ Seg.make ~port:5 () ]
+        | s :: rest -> s :: replace_last rest
+      in
+      { Sirpent.Route.first_port; segments = replace_last segments }
+  in
+  Sirpent.Host.set_receive h2 (fun _ ~packet:_ ~in_port:_ -> ());
+  ignore (Sirpent.Host.send h1 ~route:segments ~data:(Bytes.of_string "stray") ());
+  Sim.Engine.run engine;
+  check_int "not accepted" 0 (Sirpent.Host.received h2);
+  check_int "counted misdelivered" 1 (Sirpent.Host.misdelivered h2)
+
+let () =
+  Alcotest.run "sirpent"
+    [
+      ( "forwarding",
+        [
+          Alcotest.test_case "end-to-end delivery" `Quick delivery_end_to_end;
+          Alcotest.test_case "reply via trailer" `Quick reply_via_trailer;
+          Alcotest.test_case "cut-through beats store-and-forward" `Quick
+            cut_through_beats_store_and_forward;
+          Alcotest.test_case "rate mismatch falls back" `Quick
+            store_and_forward_when_rates_differ;
+          Alcotest.test_case "mtu truncation detected" `Quick mtu_truncation_detected;
+          Alcotest.test_case "misrouted packet counted" `Quick misrouted_packet_counted;
+          Alcotest.test_case "multi-homed host survives" `Quick
+            multihomed_host_survives_interface_failure;
+        ] );
+      ( "tokens",
+        [
+          Alcotest.test_case "required rejects bare" `Quick token_required_rejects_bare;
+          Alcotest.test_case "valid admits and accounts" `Quick
+            token_valid_admits_and_accounts;
+          Alcotest.test_case "forged blocked after verification" `Quick
+            forged_token_blocked_after_verification;
+          Alcotest.test_case "block policy defers" `Quick block_policy_defers;
+        ] );
+      ( "type of service",
+        [
+          Alcotest.test_case "drop-if-blocked" `Quick dib_dropped_when_blocked;
+          Alcotest.test_case "priority 7 preempts" `Quick preemption_by_priority_7;
+          Alcotest.test_case "delay line recirculates" `Quick delay_line_recirculates;
+          Alcotest.test_case "delay line drops after max" `Quick
+            delay_line_drops_after_max_circuits;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "broadcast port" `Quick broadcast_port_copies;
+          Alcotest.test_case "group port" `Quick group_port_copies;
+          Alcotest.test_case "tree multicast" `Quick tree_multicast_splits;
+          Alcotest.test_case "multicast agent" `Quick multicast_agent_explodes;
+        ] );
+      ( "logical links",
+        [
+          Alcotest.test_case "group balances" `Quick logical_group_balances;
+          Alcotest.test_case "splice expands" `Quick logical_splice_expands;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "backpressure reduces loss" `Slow
+            congestion_backpressure_reduces_loss;
+          Alcotest.test_case "control messages flow" `Quick congestion_ctl_messages_flow;
+        ] );
+    ]

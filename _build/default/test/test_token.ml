@@ -1,0 +1,321 @@
+(* Tests for the capability token subsystem: cipher, tokens, cache,
+   accounting, priorities. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let key = Token.Cipher.key_of_int64 0xFEEDFACEL
+let other_key = Token.Cipher.key_of_int64 0x0BADF00DL
+
+(* Cipher *)
+
+let block_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "roundtrip" v
+        (Token.Cipher.decrypt_block key (Token.Cipher.encrypt_block key v)))
+    [ 0L; 1L; -1L; 0x0123456789ABCDEFL; Int64.min_int; Int64.max_int ]
+
+let block_changes_value () =
+  check_bool "encryption is not identity" true
+    (Token.Cipher.encrypt_block key 42L <> 42L)
+
+let keys_differ () =
+  check_bool "different keys, different ciphertext" true
+    (Token.Cipher.encrypt_block key 42L <> Token.Cipher.encrypt_block other_key 42L)
+
+let cbc_roundtrip () =
+  let plain = Bytes.of_string "0123456789abcdefFEDCBA98" in
+  let cipher = Token.Cipher.encrypt_cbc key ~iv:7L plain in
+  check_bool "changed" true (not (Bytes.equal cipher plain));
+  check_bool "roundtrip" true
+    (Bytes.equal (Token.Cipher.decrypt_cbc key ~iv:7L cipher) plain)
+
+let cbc_rejects_unaligned () =
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Cipher: length not a multiple of 8") (fun () ->
+      ignore (Token.Cipher.encrypt_cbc key ~iv:0L (Bytes.create 7)))
+
+let cbc_iv_matters () =
+  let plain = Bytes.make 16 'x' in
+  check_bool "iv changes ciphertext" true
+    (not
+       (Bytes.equal
+          (Token.Cipher.encrypt_cbc key ~iv:1L plain)
+          (Token.Cipher.encrypt_cbc key ~iv:2L plain)))
+
+let mac_detects_tamper () =
+  let data = Bytes.of_string "account=42;port=3" in
+  let tag = Token.Cipher.mac key data in
+  let tampered = Bytes.copy data in
+  Bytes.set tampered 8 '9';
+  check_bool "differs" true (tag <> Token.Cipher.mac key tampered);
+  check_bool "key matters" true (tag <> Token.Cipher.mac other_key data)
+
+let qcheck_block_roundtrip =
+  QCheck.Test.make ~name:"feistel roundtrip any block" ~count:500 QCheck.int64
+    (fun v ->
+      Int64.equal v (Token.Cipher.decrypt_block key (Token.Cipher.encrypt_block key v)))
+
+(* Capability *)
+
+let grant =
+  {
+    Token.Capability.router_id = 17;
+    port = 3;
+    max_priority = 7;
+    reverse_ok = true;
+    account = 4242;
+    packet_limit = 0;
+    expiry_ms = 0;
+  }
+
+let mint_verify () =
+  let tok = Token.Capability.mint key ~nonce:1 grant in
+  match Token.Capability.verify key tok with
+  | None -> Alcotest.fail "should verify"
+  | Some g ->
+    check_int "router" 17 g.Token.Capability.router_id;
+    check_int "port" 3 g.Token.Capability.port;
+    check_int "account" 4242 g.Token.Capability.account;
+    check_bool "reverse" true g.Token.Capability.reverse_ok
+
+let wrong_key_fails () =
+  let tok = Token.Capability.mint key ~nonce:1 grant in
+  check_bool "other key rejects" true (Token.Capability.verify other_key tok = None)
+
+let forged_fails () =
+  check_bool "forged rejects" true
+    (Token.Capability.verify key (Token.Capability.forged ()) = None)
+
+let tamper_fails () =
+  let tok = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:1 grant) in
+  Bytes.set tok 5 (Char.chr (Char.code (Bytes.get tok 5) lxor 0x40));
+  match Token.Capability.of_bytes tok with
+  | None -> Alcotest.fail "length unchanged"
+  | Some t -> check_bool "tampered rejects" true (Token.Capability.verify key t = None)
+
+let nonce_diversifies () =
+  let t1 = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:1 grant) in
+  let t2 = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:2 grant) in
+  check_bool "distinct wire forms" false (Bytes.equal t1 t2)
+
+let permits_rules () =
+  let p g ~port ~priority ~now_ms ~reverse =
+    Token.Capability.permits g ~port ~priority ~now_ms ~reverse
+  in
+  check_bool "right port" true (p grant ~port:3 ~priority:0 ~now_ms:0 ~reverse:false);
+  check_bool "wrong port" false (p grant ~port:4 ~priority:0 ~now_ms:0 ~reverse:false);
+  check_bool "reverse ok" true (p grant ~port:3 ~priority:0 ~now_ms:0 ~reverse:true);
+  let no_reverse = { grant with Token.Capability.reverse_ok = false } in
+  check_bool "reverse denied" false
+    (p no_reverse ~port:3 ~priority:0 ~now_ms:0 ~reverse:true);
+  let low = { grant with Token.Capability.max_priority = 2 } in
+  check_bool "priority within" true (p low ~port:3 ~priority:2 ~now_ms:0 ~reverse:false);
+  check_bool "priority above" false (p low ~port:3 ~priority:5 ~now_ms:0 ~reverse:false);
+  check_bool "subnormal allowed under normal cap" true
+    (p { grant with Token.Capability.max_priority = 0 } ~port:3 ~priority:0xF
+       ~now_ms:0 ~reverse:false);
+  let expiring = { grant with Token.Capability.expiry_ms = 1000 } in
+  check_bool "before expiry" true (p expiring ~port:3 ~priority:0 ~now_ms:999 ~reverse:false);
+  check_bool "after expiry" false (p expiring ~port:3 ~priority:0 ~now_ms:1001 ~reverse:false)
+
+let size_is_fixed () =
+  check_int "32 bytes" 32 Token.Capability.size;
+  check_int "wire form" 32
+    (Bytes.length (Token.Capability.to_bytes (Token.Capability.mint key ~nonce:0 grant)))
+
+(* Priority *)
+
+let priority_order () =
+  check_bool "highest beats normal" true
+    (Token.Priority.compare Token.Priority.highest Token.Priority.normal > 0);
+  check_bool "normal beats subnormal" true
+    (Token.Priority.compare Token.Priority.normal 0x8 > 0);
+  check_bool "0xF is lowest" true
+    (List.for_all
+       (fun p -> Token.Priority.compare Token.Priority.lowest p <= 0)
+       (List.init 16 (fun i -> i)));
+  check_int "rank of normal" 8 (Token.Priority.rank Token.Priority.normal);
+  check_int "rank of highest" 15 (Token.Priority.rank Token.Priority.highest);
+  check_int "rank of lowest" 0 (Token.Priority.rank Token.Priority.lowest)
+
+let priority_preemptive () =
+  check_bool "6 preempts" true (Token.Priority.preemptive 6);
+  check_bool "7 preempts" true (Token.Priority.preemptive 7);
+  check_bool "5 does not" false (Token.Priority.preemptive 5);
+  check_bool "0xF does not" false (Token.Priority.preemptive 0xF)
+
+let qcheck_priority_total_order =
+  QCheck.Test.make ~name:"priority ranks are a bijection on 0..15" ~count:1
+    QCheck.unit (fun () ->
+      let ranks = List.map Token.Priority.rank (List.init 16 (fun i -> i)) in
+      List.sort compare ranks = List.init 16 (fun i -> i))
+
+(* Cache *)
+
+let mk_cache policy =
+  let ledger = Token.Account.create () in
+  (Token.Cache.create ~key ~router_id:17 ~policy ~ledger, ledger)
+
+let token_bytes = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:9 grant)
+
+let cache_miss_policies () =
+  let c_opt, _ = mk_cache Token.Cache.Optimistic in
+  check_bool "optimistic admits" true
+    (Token.Cache.check c_opt ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:100 ~reverse:false
+    = Token.Cache.Miss_admit);
+  let c_blk, _ = mk_cache Token.Cache.Block in
+  check_bool "block defers" true
+    (Token.Cache.check c_blk ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:100 ~reverse:false
+    = Token.Cache.Defer);
+  let c_drop, _ = mk_cache Token.Cache.Drop in
+  check_bool "drop drops" true
+    (Token.Cache.check c_drop ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:100 ~reverse:false
+    = Token.Cache.Miss_drop)
+
+let cache_hit_after_verification () =
+  let c, ledger = mk_cache Token.Cache.Optimistic in
+  check_bool "verifies" true (Token.Cache.complete_verification c ~token:token_bytes ~now_ms:0);
+  (match
+     Token.Cache.check c ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:500 ~reverse:false
+   with
+  | Token.Cache.Admit g -> check_int "grant account" 4242 g.Token.Capability.account
+  | _ -> Alcotest.fail "expected Admit");
+  let usage = Token.Account.usage ledger ~account:4242 in
+  check_int "charged packets" 1 usage.Token.Account.packets;
+  check_int "charged bytes" 500 usage.Token.Account.bytes
+
+let cache_denies_bad_token () =
+  let c, _ = mk_cache Token.Cache.Optimistic in
+  let bad = Token.Capability.to_bytes (Token.Capability.forged ()) in
+  check_bool "bad fails verification" false
+    (Token.Cache.complete_verification c ~token:bad ~now_ms:0);
+  check_bool "subsequent packets denied" true
+    (Token.Cache.check c ~token:bad ~port:3 ~priority:0 ~now_ms:0 ~packet_bytes:1
+       ~reverse:false
+    = Token.Cache.Deny)
+
+let cache_enforces_packet_limit () =
+  let limited = { grant with Token.Capability.packet_limit = 2 } in
+  let tok = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:3 limited) in
+  let c, _ = mk_cache Token.Cache.Optimistic in
+  ignore (Token.Cache.complete_verification c ~token:tok ~now_ms:0);
+  let check_once expected label =
+    let v =
+      Token.Cache.check c ~token:tok ~port:3 ~priority:0 ~now_ms:0 ~packet_bytes:1
+        ~reverse:false
+    in
+    check_bool label expected
+      (match v with Token.Cache.Admit _ -> true | _ -> false)
+  in
+  check_once true "first";
+  check_once true "second";
+  check_once false "third (over limit)"
+
+let cache_wrong_router_rejected () =
+  (* Token minted for router 99 presented at router 17. *)
+  let foreign = { grant with Token.Capability.router_id = 99 } in
+  let tok = Token.Capability.to_bytes (Token.Capability.mint key ~nonce:4 foreign) in
+  let c, _ = mk_cache Token.Cache.Optimistic in
+  check_bool "verification fails" false
+    (Token.Cache.complete_verification c ~token:tok ~now_ms:0)
+
+let cache_counts_and_flush () =
+  let c, _ = mk_cache Token.Cache.Optimistic in
+  ignore
+    (Token.Cache.check c ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:1 ~reverse:false);
+  check_int "one miss" 1 (Token.Cache.misses c);
+  ignore (Token.Cache.complete_verification c ~token:token_bytes ~now_ms:0);
+  check_int "one entry" 1 (Token.Cache.entries c);
+  ignore
+    (Token.Cache.check c ~token:token_bytes ~port:3 ~priority:0 ~now_ms:0
+       ~packet_bytes:1 ~reverse:false);
+  check_int "one hit" 1 (Token.Cache.hits c);
+  Token.Cache.flush c;
+  check_int "flushed" 0 (Token.Cache.entries c)
+
+(* Account *)
+
+let account_totals () =
+  let l = Token.Account.create () in
+  Token.Account.charge l ~account:1 ~packets:2 ~bytes:100;
+  Token.Account.charge l ~account:2 ~packets:1 ~bytes:50;
+  Token.Account.charge l ~account:1 ~packets:1 ~bytes:25;
+  let u1 = Token.Account.usage l ~account:1 in
+  check_int "acct1 packets" 3 u1.Token.Account.packets;
+  check_int "acct1 bytes" 125 u1.Token.Account.bytes;
+  Alcotest.(check (list int)) "accounts" [ 1; 2 ] (Token.Account.accounts l);
+  let total = Token.Account.total l in
+  check_int "total packets" 4 total.Token.Account.packets;
+  check_int "total bytes" 175 total.Token.Account.bytes;
+  let u3 = Token.Account.usage l ~account:3 in
+  check_int "unknown account zero" 0 u3.Token.Account.packets
+
+let qcheck_capability_roundtrip =
+  QCheck.Test.make ~name:"capability mint/verify roundtrip" ~count:100
+    QCheck.(
+      quad (int_range 0 255) (int_range 0 15) bool (int_range 0 1000000))
+    (fun (port, prio, rev, account) ->
+      let g =
+        {
+          Token.Capability.router_id = 17;
+          port;
+          max_priority = prio;
+          reverse_ok = rev;
+          account;
+          packet_limit = 0;
+          expiry_ms = 0;
+        }
+      in
+      match Token.Capability.verify key (Token.Capability.mint key ~nonce:0 g) with
+      | Some g' -> g' = g
+      | None -> false)
+
+let () =
+  Alcotest.run "token"
+    [
+      ( "cipher",
+        [
+          Alcotest.test_case "block roundtrip" `Quick block_roundtrip;
+          Alcotest.test_case "not identity" `Quick block_changes_value;
+          Alcotest.test_case "keys differ" `Quick keys_differ;
+          Alcotest.test_case "cbc roundtrip" `Quick cbc_roundtrip;
+          Alcotest.test_case "cbc alignment" `Quick cbc_rejects_unaligned;
+          Alcotest.test_case "cbc iv matters" `Quick cbc_iv_matters;
+          Alcotest.test_case "mac detects tamper" `Quick mac_detects_tamper;
+        ] );
+      ( "capability",
+        [
+          Alcotest.test_case "mint/verify" `Quick mint_verify;
+          Alcotest.test_case "wrong key fails" `Quick wrong_key_fails;
+          Alcotest.test_case "forged fails" `Quick forged_fails;
+          Alcotest.test_case "tamper fails" `Quick tamper_fails;
+          Alcotest.test_case "nonce diversifies" `Quick nonce_diversifies;
+          Alcotest.test_case "permits rules" `Quick permits_rules;
+          Alcotest.test_case "fixed size" `Quick size_is_fixed;
+        ] );
+      ( "priority",
+        [
+          Alcotest.test_case "ordering" `Quick priority_order;
+          Alcotest.test_case "preemptive levels" `Quick priority_preemptive;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "miss policies" `Quick cache_miss_policies;
+          Alcotest.test_case "hit after verification" `Quick cache_hit_after_verification;
+          Alcotest.test_case "denies bad token" `Quick cache_denies_bad_token;
+          Alcotest.test_case "packet limit" `Quick cache_enforces_packet_limit;
+          Alcotest.test_case "wrong router" `Quick cache_wrong_router_rejected;
+          Alcotest.test_case "counters and flush" `Quick cache_counts_and_flush;
+        ] );
+      ("account", [ Alcotest.test_case "totals" `Quick account_totals ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_block_roundtrip; qcheck_priority_total_order; qcheck_capability_roundtrip ] );
+    ]

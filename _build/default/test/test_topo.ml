@@ -1,0 +1,259 @@
+(* Tests for the topology graph and path algorithms. *)
+
+module G = Topo.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let props = G.default_props
+
+let mk_line n =
+  let g = G.create () in
+  let ids = Array.init n (fun _ -> G.add_node g G.Router) in
+  for i = 0 to n - 2 do
+    ignore (G.connect g ids.(i) ids.(i + 1) props)
+  done;
+  (g, ids)
+
+let hop_metric (_ : G.link) = 1.0
+
+let nodes_and_ports () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"alpha" G.Host in
+  let b = G.add_node g G.Router in
+  check_int "ids dense" 0 a;
+  check_int "ids dense 2" 1 b;
+  Alcotest.(check string) "named" "alpha" (G.name g a);
+  Alcotest.(check string) "default name" "r1" (G.name g b);
+  Alcotest.(check (option int)) "find by name" (Some a) (G.find_by_name g "alpha");
+  let pa, pb = G.connect g a b props in
+  check_int "ports from 1" 1 pa;
+  check_int "ports from 1 (b)" 1 pb;
+  check_int "degree" 1 (G.degree g a)
+
+let port_numbering_increments () =
+  let g = G.create () in
+  let hub = G.add_node g G.Router in
+  let others = List.init 5 (fun _ -> G.add_node g G.Router) in
+  let ports = List.map (fun n -> fst (G.connect g hub n props)) others in
+  Alcotest.(check (list int)) "sequential" [ 1; 2; 3; 4; 5 ] ports
+
+let peer_resolution () =
+  let g = G.create () in
+  let a = G.add_node g G.Router and b = G.add_node g G.Router in
+  let pa, pb = G.connect g a b props in
+  match G.link_via g a pa with
+  | None -> Alcotest.fail "link missing"
+  | Some l ->
+    Alcotest.(check (pair int int)) "peer of a" (b, pb) (G.peer l a);
+    Alcotest.(check (pair int int)) "peer of b" (a, pa) (G.peer l b)
+
+let disconnect_removes () =
+  let g = G.create () in
+  let a = G.add_node g G.Router and b = G.add_node g G.Router in
+  let pa, _ = G.connect g a b props in
+  (match G.link_via g a pa with
+  | Some l -> G.disconnect g l
+  | None -> Alcotest.fail "link missing");
+  Alcotest.(check bool) "gone" true (G.link_via g a pa = None);
+  check_int "no links" 0 (List.length (G.links g))
+
+let shortest_path_line () =
+  let g, ids = mk_line 5 in
+  match G.shortest_path g ~metric:hop_metric ~src:ids.(0) ~dst:ids.(4) with
+  | None -> Alcotest.fail "no path"
+  | Some hops ->
+    check_int "4 hops" 4 (List.length hops);
+    let nodes = G.route_nodes g ~src:ids.(0) hops in
+    Alcotest.(check (list int)) "node sequence"
+      (Array.to_list ids) nodes
+
+let shortest_path_self () =
+  let g, ids = mk_line 2 in
+  Alcotest.(check (option (list reject))) "self = empty path" (Some [])
+    (Option.map (fun l -> List.map (fun _ -> ()) l)
+       (G.shortest_path g ~metric:hop_metric ~src:ids.(0) ~dst:ids.(0)))
+
+let shortest_path_unreachable () =
+  let g = G.create () in
+  let a = G.add_node g G.Router and b = G.add_node g G.Router in
+  check_bool "unreachable" true
+    (G.shortest_path g ~metric:hop_metric ~src:a ~dst:b = None)
+
+let shortest_path_prefers_cheap () =
+  (* triangle with one expensive direct edge *)
+  let g = G.create () in
+  let a = G.add_node g G.Router
+  and b = G.add_node g G.Router
+  and c = G.add_node g G.Router in
+  ignore (G.connect g a c props) (* link 0: direct *);
+  ignore (G.connect g a b props) (* link 1 *);
+  ignore (G.connect g b c props) (* link 2 *);
+  let metric (l : G.link) = if l.G.link_id = 0 then 10.0 else 1.0 in
+  match G.shortest_path g ~metric ~src:a ~dst:c with
+  | None -> Alcotest.fail "no path"
+  | Some hops ->
+    check_int "goes around" 2 (List.length hops);
+    Alcotest.(check (list int)) "via b" [ a; b; c ] (G.route_nodes g ~src:a hops)
+
+let k_shortest_distinct () =
+  let g = G.create () in
+  let a = G.add_node g G.Router
+  and b = G.add_node g G.Router
+  and c = G.add_node g G.Router
+  and d = G.add_node g G.Router in
+  ignore (G.connect g a b props);
+  ignore (G.connect g b d props);
+  ignore (G.connect g a c props);
+  ignore (G.connect g c d props);
+  let paths = G.k_shortest_paths g ~metric:hop_metric ~src:a ~dst:d ~k:3 in
+  check_int "two disjoint paths" 2 (List.length paths);
+  let as_nodes p = G.route_nodes g ~src:a p in
+  check_bool "distinct" true (as_nodes (List.nth paths 0) <> as_nodes (List.nth paths 1))
+
+let k_shortest_ordering () =
+  let g = G.create () in
+  let a = G.add_node g G.Router and b = G.add_node g G.Router in
+  let c = G.add_node g G.Router in
+  ignore (G.connect g a b props);
+  ignore (G.connect g a c props);
+  ignore (G.connect g c b props);
+  let paths = G.k_shortest_paths g ~metric:hop_metric ~src:a ~dst:b ~k:5 in
+  check_int "both" 2 (List.length paths);
+  let costs = List.map (fun p -> G.path_cost g ~metric:hop_metric p) paths in
+  check_bool "nondecreasing" true (List.sort compare costs = costs)
+
+let builders_shape () =
+  let g, ids = G.line 4 in
+  check_int "line nodes" 4 (G.node_count g);
+  check_int "line links" 3 (List.length (G.links g));
+  ignore ids;
+  let g, hub, leaves = G.star 6 in
+  check_int "star nodes" 7 (G.node_count g);
+  check_int "hub degree" 6 (G.degree g hub);
+  check_int "leaf degree" 1 (G.degree g leaves.(0));
+  let g, left, right = G.dumbbell 3 in
+  check_int "dumbbell nodes" 8 (G.node_count g);
+  check_int "left hosts" 3 (Array.length left);
+  check_int "right hosts" 3 (Array.length right)
+
+let dumbbell_bottleneck () =
+  let g, left, right = G.dumbbell 2 in
+  match G.shortest_path g ~metric:hop_metric ~src:left.(0) ~dst:right.(0) with
+  | None -> Alcotest.fail "no path"
+  | Some hops -> check_int "3 hops via both routers" 3 (List.length hops)
+
+let campus_builder () =
+  let rng = Sim.Rng.create 11L in
+  let g, routers, hosts = G.campus_internet ~rng ~campuses:6 ~hosts_per_campus:3 in
+  check_int "routers" 6 (Array.length routers);
+  check_int "hosts" 18 (Array.length hosts);
+  (* every host reaches every other host *)
+  let metric = hop_metric in
+  let reachable = ref true in
+  Array.iter
+    (fun h1 ->
+      Array.iter
+        (fun h2 ->
+          if h1 <> h2 && G.shortest_path g ~metric ~src:h1 ~dst:h2 = None then
+            reachable := false)
+        hosts)
+    hosts;
+  check_bool "fully reachable" true !reachable
+
+let hierarchical_switch_small () =
+  (* small fan-outs hang directly off the root *)
+  let g = G.create () in
+  let root, leaves = G.hierarchical_switch g ~leaves:10 in
+  Alcotest.(check int) "10 leaves" 10 (Array.length leaves);
+  Array.iter
+    (fun leaf ->
+      match G.shortest_path g ~metric:hop_metric ~src:root ~dst:leaf with
+      | Some hops -> Alcotest.(check int) "one stage" 1 (List.length hops)
+      | None -> Alcotest.fail "leaf unreachable")
+    leaves
+
+let hierarchical_switch_large () =
+  (* 600 leaves exceed the 255-port limit: an intermediate stage appears,
+     no node exceeds the VIPER port budget, and every leaf is reachable *)
+  let g = G.create () in
+  let root, leaves = G.hierarchical_switch g ~leaves:600 in
+  Alcotest.(check int) "600 leaves" 600 (Array.length leaves);
+  G.iter_nodes g (fun n -> check_bool "within port budget" true (G.degree g n <= 255));
+  let depths =
+    Array.map
+      (fun leaf ->
+        match G.shortest_path g ~metric:hop_metric ~src:root ~dst:leaf with
+        | Some hops -> List.length hops
+        | None -> -1)
+      leaves
+  in
+  check_bool "all reachable" true (Array.for_all (fun d -> d > 0) depths);
+  check_bool "two stages" true (Array.for_all (fun d -> d = 2) depths)
+
+let max_ports_enforced () =
+  let g = G.create () in
+  let hub = G.add_node g G.Router in
+  for _ = 1 to 255 do
+    let n = G.add_node g G.Host in
+    ignore (G.connect g hub n props)
+  done;
+  let extra = G.add_node g G.Host in
+  Alcotest.check_raises "256th port refused"
+    (Failure "Graph.connect: node has 255 ports") (fun () ->
+      ignore (G.connect g hub extra props))
+
+let qcheck_random_graph_paths =
+  QCheck.Test.make ~name:"dijkstra path is valid and chains" ~count:50
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Sim.Rng.create (Int64.of_int n) in
+      let g = G.create () in
+      let ids = Array.init n (fun _ -> G.add_node g G.Router) in
+      (* random connected graph: spanning chain + extra edges *)
+      for i = 1 to n - 1 do
+        ignore (G.connect g ids.(i - 1) ids.(i) props)
+      done;
+      for _ = 1 to n do
+        let a = Sim.Rng.int rng n and b = Sim.Rng.int rng n in
+        if a <> b then ignore (G.connect g ids.(a) ids.(b) props)
+      done;
+      let src = ids.(0) and dst = ids.(n - 1) in
+      match G.shortest_path g ~metric:hop_metric ~src ~dst with
+      | None -> false
+      | Some hops -> (
+        match G.route_nodes g ~src hops with
+        | nodes -> List.hd (List.rev nodes) = dst
+        | exception _ -> false))
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "nodes and ports" `Quick nodes_and_ports;
+          Alcotest.test_case "port numbering" `Quick port_numbering_increments;
+          Alcotest.test_case "peer resolution" `Quick peer_resolution;
+          Alcotest.test_case "disconnect" `Quick disconnect_removes;
+          Alcotest.test_case "max 255 ports" `Quick max_ports_enforced;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "line shortest path" `Quick shortest_path_line;
+          Alcotest.test_case "src=dst" `Quick shortest_path_self;
+          Alcotest.test_case "unreachable" `Quick shortest_path_unreachable;
+          Alcotest.test_case "prefers cheap" `Quick shortest_path_prefers_cheap;
+          Alcotest.test_case "k-shortest distinct" `Quick k_shortest_distinct;
+          Alcotest.test_case "k-shortest ordered" `Quick k_shortest_ordering;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "shapes" `Quick builders_shape;
+          Alcotest.test_case "dumbbell bottleneck" `Quick dumbbell_bottleneck;
+          Alcotest.test_case "campus internetwork" `Quick campus_builder;
+          Alcotest.test_case "hierarchical switch (small)" `Quick hierarchical_switch_small;
+          Alcotest.test_case "hierarchical switch (large)" `Quick hierarchical_switch_large;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_random_graph_paths ] );
+    ]

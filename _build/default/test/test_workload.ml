@@ -1,0 +1,134 @@
+(* Tests for the workload generators of §6.2. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let mixture_analytic_mean () =
+  (* §6.2 worked example: max 2 KB -> mean about 3/8 of max (~633 B
+     quoted in the paper with its rounding). *)
+  let m = Workload.Sizes.paper_mixture in
+  let mean = Workload.Sizes.analytic_mean m in
+  check_bool "near 3/8 of max" true (abs_float (mean -. 808.0) < 1.0);
+  (* the pure 3/8 approximation ignores the min size; with min=0 it is exact *)
+  check_float "exact 3/8 with min=0" 768.0
+    (Workload.Sizes.analytic_mean { Workload.Sizes.min_size = 0; max_size = 2048 })
+
+let mixture_empirical_matches () =
+  let rng = Sim.Rng.create 7L in
+  let m = Workload.Sizes.paper_mixture in
+  let n = 200_000 in
+  let total = ref 0 in
+  let minc = ref 0 and maxc = ref 0 in
+  for _ = 1 to n do
+    let s = Workload.Sizes.draw rng m in
+    check_bool "in range" true (s >= m.Workload.Sizes.min_size && s <= m.Workload.Sizes.max_size);
+    total := !total + s;
+    if s = m.Workload.Sizes.min_size then incr minc;
+    if s = m.Workload.Sizes.max_size then incr maxc
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  check_bool "empirical mean near analytic" true
+    (abs_float (mean -. Workload.Sizes.analytic_mean m) < 10.0);
+  (* half minimum, quarter maximum *)
+  check_bool "about half minimum" true
+    (abs_float ((float_of_int !minc /. float_of_int n) -. 0.5) < 0.01);
+  check_bool "about quarter maximum" true
+    (abs_float ((float_of_int !maxc /. float_of_int n) -. 0.25) < 0.01)
+
+let hop_model_means () =
+  check_float "paper model mean 0.2" 0.2
+    (Workload.Sizes.analytic_mean_hops Workload.Sizes.paper_hop_model);
+  check_float "fixed" 3.0 (Workload.Sizes.analytic_mean_hops (Workload.Sizes.Fixed 3));
+  check_float "geometric" 1.5
+    (Workload.Sizes.analytic_mean_hops (Workload.Sizes.Geometric { mean = 1.5 }))
+
+let hop_model_empirical () =
+  let rng = Sim.Rng.create 8L in
+  let n = 100_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Workload.Sizes.draw_hops rng Workload.Sizes.paper_hop_model
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  check_bool "near 0.2" true (abs_float (mean -. 0.2) < 0.02)
+
+let geometric_empirical () =
+  let rng = Sim.Rng.create 9L in
+  let model = Workload.Sizes.Geometric { mean = 2.0 } in
+  let n = 100_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Workload.Sizes.draw_hops rng model
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  check_bool "near 2.0" true (abs_float (mean -. 2.0) < 0.05)
+
+let poisson_rate () =
+  let rng = Sim.Rng.create 10L in
+  let src = Workload.Source.poisson rng ~rate_pps:1000.0 in
+  check_float "analytic rate" 1000.0 (Workload.Source.mean_rate_pps src);
+  let n = 50_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Workload.Source.next_gap src
+  done;
+  let mean_gap_s = Sim.Time.to_seconds (!total / n) in
+  check_bool "empirical gap ~1ms" true (abs_float (mean_gap_s -. 0.001) < 0.0001)
+
+let periodic_is_constant () =
+  let src = Workload.Source.periodic ~period:(Sim.Time.ms 10) in
+  check_float "rate" 100.0 (Workload.Source.mean_rate_pps src);
+  Alcotest.(check int) "gap" (Sim.Time.ms 10) (Workload.Source.next_gap src);
+  Alcotest.(check int) "gap again" (Sim.Time.ms 10) (Workload.Source.next_gap src)
+
+let on_off_is_bursty () =
+  let rng = Sim.Rng.create 11L in
+  let src =
+    Workload.Source.on_off rng ~on_mean:(Sim.Time.ms 10) ~off_mean:(Sim.Time.ms 90)
+      ~burst_gap:(Sim.Time.us 100)
+  in
+  (* gaps are either the burst gap or a long off period *)
+  let short = ref 0 and long = ref 0 in
+  for _ = 1 to 10_000 do
+    let gap = Workload.Source.next_gap src in
+    if gap = Sim.Time.us 100 then incr short else incr long
+  done;
+  check_bool "mostly in-burst" true (!short > !long * 5);
+  check_bool "some off periods" true (!long > 10);
+  (* analytic mean rate: 100 pkts per on-period of 10ms, per 100ms cycle *)
+  check_bool "mean rate about 1000 pps" true
+    (abs_float (Workload.Source.mean_rate_pps src -. 1000.0) < 1.0)
+
+let transactional_groups () =
+  let rng = Sim.Rng.create 12L in
+  let src = Workload.Source.transactional rng ~rate_tps:100.0 ~request_packets:4 in
+  check_float "pps = tps * group" 400.0 (Workload.Source.mean_rate_pps src);
+  (* first gap of each transaction is long, next 3 are ~zero *)
+  let tiny = ref 0 in
+  for _ = 1 to 400 do
+    if Workload.Source.next_gap src <= Sim.Time.ns 1 then incr tiny
+  done;
+  check_bool "three tiny gaps per txn" true (abs_float (float_of_int !tiny -. 300.0) < 10.0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "sizes",
+        [
+          Alcotest.test_case "analytic mean" `Quick mixture_analytic_mean;
+          Alcotest.test_case "empirical mixture" `Slow mixture_empirical_matches;
+        ] );
+      ( "hops",
+        [
+          Alcotest.test_case "model means" `Quick hop_model_means;
+          Alcotest.test_case "paper model empirical" `Slow hop_model_empirical;
+          Alcotest.test_case "geometric empirical" `Slow geometric_empirical;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "poisson" `Slow poisson_rate;
+          Alcotest.test_case "periodic" `Quick periodic_is_constant;
+          Alcotest.test_case "on/off bursty" `Quick on_off_is_bursty;
+          Alcotest.test_case "transactional" `Quick transactional_groups;
+        ] );
+    ]
