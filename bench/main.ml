@@ -26,6 +26,7 @@ let experiments =
     ("e15", "\xc2\xa72.3 Sirpent over IP interoperation", E15_interop.run);
     ("e16", "ablation: blocked-packet handling", E16_blocked_ablation.run);
     ("e17", "ablation: directory-client caching", E17_directory_cache.run);
+    ("e18", "fault matrix: corruption, flapping, crashes", E18_fault_matrix.run);
   ]
 
 let list_experiments () =

@@ -243,6 +243,27 @@ let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
 let start t =
   if not t.started then t.started <- true
 
+(* Crash support: every structure here is soft state the paper says a
+   router may lose and rebuild on use — limiters (held packets are lost
+   with the crash), feeder windows, monitored ports. Returns the number of
+   held packets dropped. *)
+let reset t =
+  let dropped =
+    Hashtbl.fold
+      (fun _ lim acc ->
+        (match lim.drain_event with
+        | Some h ->
+          Sim.Engine.cancel (W.engine t.world) h;
+          lim.drain_event <- None
+        | None -> ());
+        acc + Queue.length lim.pending)
+      t.limiters 0
+  in
+  Hashtbl.reset t.limiters;
+  Hashtbl.reset t.window;
+  Hashtbl.reset t.known_out_ports;
+  dropped
+
 let backlog t =
   Hashtbl.fold (fun _ lim acc -> acc + Queue.length lim.pending) t.limiters 0
 

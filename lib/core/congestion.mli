@@ -58,6 +58,11 @@ val handle_ctl :
 val start : t -> unit
 (** Begin the periodic monitor (idempotent). *)
 
+val reset : t -> int
+(** Crash support: wipe all soft state (limiters, feeder windows, monitored
+    ports). Packets held in limiters are lost; returns how many. The state
+    rebuilds from subsequent traffic, as soft state must. *)
+
 val backlog : t -> int
 (** Packets currently held across all limiters. *)
 

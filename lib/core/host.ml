@@ -36,9 +36,9 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
          (fun () ->
            if frame.Netsim.Frame.aborted then ()
            else
-           match Pkt.decode frame.Netsim.Frame.payload with
-           | exception _ -> t.misdelivered <- t.misdelivered + 1
-           | packet ->
+           match Pkt.parse frame.Netsim.Frame.payload with
+           | Error _ -> t.misdelivered <- t.misdelivered + 1
+           | Ok packet ->
              let final_is_local =
                match packet.Pkt.route with
                | [ seg ] -> seg.Seg.port = Seg.local_port

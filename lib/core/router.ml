@@ -34,6 +34,9 @@ type stats = {
   forwarded : int;
   delivered_local : int;
   parse_errors : int;
+  dropped_malformed : int;
+  dropped_down : int;
+  crashes : int;
   unauthorized : int;
   deferred : int;
   truncated : int;
@@ -57,9 +60,14 @@ type t = {
   port_handlers :
     (int, seg:Seg.t -> rest:bytes -> in_port:G.port -> unit) Hashtbl.t;
   mutable on_local : (packet:Pkt.t -> in_port:G.port -> unit) option;
+  mutable up : bool;
+  mutable epoch : int;  (** bumped on crash: pending deferred work dies with it *)
   mutable forwarded : int;
   mutable delivered_local : int;
   mutable parse_errors : int;
+  mutable dropped_malformed : int;
+  mutable dropped_down : int;
+  mutable crashes : int;
   mutable unauthorized : int;
   mutable deferred : int;
   mutable truncated : int;
@@ -82,6 +90,9 @@ let stats t =
     forwarded = t.forwarded;
     delivered_local = t.delivered_local;
     parse_errors = t.parse_errors;
+    dropped_malformed = t.dropped_malformed;
+    dropped_down = t.dropped_down;
+    crashes = t.crashes;
     unauthorized = t.unauthorized;
     deferred = t.deferred;
     truncated = t.truncated;
@@ -103,9 +114,14 @@ let set_local_delivery t f = t.on_local <- Some f
 let now t = W.now t.world
 
 (* Clamp to the present: deferred work (e.g. token verification) can leave a
-   cut-through act time in the past. *)
+   cut-through act time in the past. Work deferred before a crash must not
+   run after it — the crash wiped the state it would act on — so each
+   scheduled action is bound to the router's current epoch. *)
 let schedule t ~time f =
-  ignore (Sim.Engine.schedule_at (W.engine t.world) ~time:(max time (now t)) f)
+  let epoch = t.epoch in
+  ignore
+    (Sim.Engine.schedule_at (W.engine t.world) ~time:(max time (now t))
+       (fun () -> if t.up && t.epoch = epoch then f ()))
 
 let link_rate t port =
   match G.link_via (W.graph t.world) t.node port with
@@ -226,22 +242,29 @@ let dispatch t ~seg ~frame ~out_port ~payload ~when_ =
 
 let forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant =
   let return_seg = return_segment t ~seg ~in_port ~in_info ~grant in
-  let forwarded = Viper.Trailer.append_hop rest return_seg in
-  let forwarded =
-    match link_mtu t out_port with
-    | Some mtu when Bytes.length forwarded > mtu ->
-      t.truncated <- t.truncated + 1;
-      Pkt.truncate_to forwarded ~max:(mtu - 4)
-    | Some _ | None -> forwarded
-  in
-  let mode, when_ = act_time t ~in_port ~out_port ~head ~tail ~header_size in
-  (match mode with
-  | `Cut -> t.cut_throughs <- t.cut_throughs + 1
-  | `Store -> t.stored_forwards <- t.stored_forwards + 1);
-  (match t.congestion with
-  | Some c -> Congestion.note_arrival c ~in_port ~out_port
-  | None -> ());
-  dispatch t ~seg ~frame ~out_port ~payload:forwarded ~when_
+  (* The loopback append reads the trailer framing; on a frame whose
+     trailer was damaged in flight it fails — a counted drop, not an
+     exception out of the frame handler. *)
+  match Viper.Trailer.append_hop rest return_seg with
+  | exception (Invalid_argument _ | Failure _ | Wire.Buf.Underflow | Wire.Buf.Overflow)
+    ->
+    t.dropped_malformed <- t.dropped_malformed + 1
+  | forwarded ->
+    let forwarded =
+      match link_mtu t out_port with
+      | Some mtu when Bytes.length forwarded > mtu ->
+        t.truncated <- t.truncated + 1;
+        Pkt.truncate_to forwarded ~max:(mtu - 4)
+      | Some _ | None -> forwarded
+    in
+    let mode, when_ = act_time t ~in_port ~out_port ~head ~tail ~header_size in
+    (match mode with
+    | `Cut -> t.cut_throughs <- t.cut_throughs + 1
+    | `Store -> t.stored_forwards <- t.stored_forwards + 1);
+    (match t.congestion with
+    | Some c -> Congestion.note_arrival c ~in_port ~out_port
+    | None -> ());
+    dispatch t ~seg ~frame ~out_port ~payload:forwarded ~when_
 
 (* Token checking; calls [proceed ~grant] when the packet may be switched.
    A reverse-path packet (RPF flag) is checked against its arrival port:
@@ -319,10 +342,12 @@ let prepend_segments segments rest =
 let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
   if depth > 4 then t.parse_errors <- t.parse_errors + 1
   else
-    match Pkt.strip_leading payload with
-    | exception _ ->
-      t.parse_errors <- t.parse_errors + 1
-    | seg, rest ->
+    match Pkt.parse_leading payload with
+    | Error _ ->
+      (* A frame damaged in flight (or truncated by preemption) must become
+         a counted drop, never an exception out of the frame handler. *)
+      t.dropped_malformed <- t.dropped_malformed + 1
+    | Ok (seg, rest) ->
       let header_size = Seg.encoded_size seg in
       if seg.Seg.port = Seg.local_port then
         deliver_local t ~frame ~payload ~in_port ~tail
@@ -400,7 +425,7 @@ and multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~header_size
 
 and tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth =
   match Viper.Multicast.decode_branches seg.Seg.info with
-  | exception _ -> t.parse_errors <- t.parse_errors + 1
+  | exception _ -> t.dropped_malformed <- t.dropped_malformed + 1
   | branches ->
     List.iter
       (fun branch ->
@@ -416,23 +441,25 @@ and deliver_local t ~frame ~payload ~in_port ~tail =
     (fun () ->
       if frame.Netsim.Frame.aborted then ()
       else
-      match Pkt.decode payload with
-      | exception _ -> t.parse_errors <- t.parse_errors + 1
-      | packet -> (
+      match Pkt.parse payload with
+      | Error _ -> t.dropped_malformed <- t.dropped_malformed + 1
+      | Ok packet -> (
         t.delivered_local <- t.delivered_local + 1;
         match t.on_local with
         | Some f -> f ~packet ~in_port
         | None -> ()))
 
 let handle t _world ~in_port ~frame ~head ~tail =
-  match frame.Netsim.Frame.meta with
-  | Some (Congestion.Rate_ctl { congested_port; rate_bps }) -> (
-    match t.congestion with
-    | Some c -> Congestion.handle_ctl c ~arrival_port:in_port ~congested_port ~rate_bps
-    | None -> ())
-  | Some _ | None ->
-    process t ~frame ~payload:frame.Netsim.Frame.payload ~in_port ~in_info:None
-      ~head ~tail ~depth:0
+  if not t.up then t.dropped_down <- t.dropped_down + 1
+  else
+    match frame.Netsim.Frame.meta with
+    | Some (Congestion.Rate_ctl { congested_port; rate_bps }) -> (
+      match t.congestion with
+      | Some c -> Congestion.handle_ctl c ~arrival_port:in_port ~congested_port ~rate_bps
+      | None -> ())
+    | Some _ | None ->
+      process t ~frame ~payload:frame.Netsim.Frame.payload ~in_port ~in_info:None
+        ~head ~tail ~depth:0
 
 let create ?(config = default_config) ?key world ~node () =
   let key =
@@ -455,9 +482,14 @@ let create ?(config = default_config) ?key world ~node () =
       port_groups = Hashtbl.create 4;
       port_handlers = Hashtbl.create 4;
       on_local = None;
+      up = true;
+      epoch = 0;
       forwarded = 0;
       delivered_local = 0;
       parse_errors = 0;
+      dropped_malformed = 0;
+      dropped_down = 0;
+      crashes = 0;
       unauthorized = 0;
       deferred = 0;
       truncated = 0;
@@ -479,8 +511,26 @@ let set_port_handler t ~port f =
   Hashtbl.replace t.port_handlers port f
 
 let inject t ~payload ~in_port ~return_info =
-  let frame = W.fresh_frame t.world payload in
-  process t ~frame ~payload ~in_port ~in_info:(Some return_info)
-    ~head:(now t) ~tail:(now t) ~depth:0
+  if not t.up then t.dropped_down <- t.dropped_down + 1
+  else begin
+    let frame = W.fresh_frame t.world payload in
+    process t ~frame ~payload ~in_port ~in_info:(Some return_info)
+      ~head:(now t) ~tail:(now t) ~depth:0
+  end
 
 let handle_frame t = handle t
+
+(* §6.3: routers hold only soft state, so a crash loses queued frames and
+   caches but nothing a restart cannot rebuild from subsequent traffic. *)
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1;
+    t.crashes <- t.crashes + 1;
+    ignore (W.purge_node t.world ~node:t.node);
+    Token.Cache.flush t.cache;
+    Option.iter (fun c -> ignore (Congestion.reset c)) t.congestion
+  end
+
+let restart t = t.up <- true
+let up t = t.up

@@ -44,7 +44,13 @@ val default_config : config
 type stats = {
   forwarded : int;
   delivered_local : int;
-  parse_errors : int;  (** unparseable leading segment (e.g. corruption) *)
+  parse_errors : int;  (** structural errors: splice depth, unknown group *)
+  dropped_malformed : int;
+      (** frames whose bytes failed to parse — corruption in flight, runt
+          frames from preemption. Distinct from congestion drops
+          ([send_drops]) so experiments can separate damage from load. *)
+  dropped_down : int;  (** frames arriving while the router was crashed *)
+  crashes : int;
   unauthorized : int;  (** token denied / required but absent *)
   deferred : int;  (** packets held for token verification *)
   truncated : int;  (** over-MTU packets truncated in flight *)
@@ -101,3 +107,18 @@ val inject :
 val handle_frame : t -> Netsim.World.handler
 (** The router's frame handler (for wrappers that dispatch between stacks
     on one node). *)
+
+(** {1 Crash and restart (§6.3)}
+
+    "Routers hold only soft state": a crash drops everything queued at the
+    node's outports, abandons deferred work (token verifications, pending
+    dispatches), and wipes the token cache and congestion limiters. While
+    down, arriving frames are counted in [dropped_down] and discarded.
+    After {!restart} the state rebuilds from traffic — which the fault
+    matrix test verifies. *)
+
+val crash : t -> unit
+(** Idempotent while down. *)
+
+val restart : t -> unit
+val up : t -> bool

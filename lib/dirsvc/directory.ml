@@ -26,9 +26,13 @@ type t = {
   secure_links : (int, unit) Hashtbl.t;
   link_costs : (int, float) Hashtbl.t;
   load : (int, float) Hashtbl.t;
+  answers : (string, route_info list) Hashtbl.t;
+      (** last fresh answer per query key — replayed while frozen *)
+  mutable frozen : bool;
   mutable nonce : int;
   mutable queries_served : int;
   mutable tokens_minted : int;
+  mutable stale_served : int;
 }
 
 let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) graph =
@@ -41,9 +45,12 @@ let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) graph =
     secure_links = Hashtbl.create 16;
     link_costs = Hashtbl.create 16;
     load = Hashtbl.create 16;
+    answers = Hashtbl.create 64;
+    frozen = false;
     nonce = 0;
     queries_served = 0;
     tokens_minted = 0;
+    stale_served = 0;
   }
 
 let register t ~name ~node =
@@ -141,9 +148,28 @@ let mint_tokens t ~client ~priority hops =
 let secure_path t hops =
   List.for_all (fun l -> is_secure t l.G.link_id) (path_links t hops)
 
+let selector_tag = function
+  | Lowest_delay -> "delay"
+  | Highest_bandwidth -> "bw"
+  | Lowest_cost -> "cost"
+  | Secure -> "secure"
+
+let set_frozen t frozen = t.frozen <- frozen
+let frozen t = t.frozen
+let stale_served t = t.stale_served
+
 let query t ~client ~target ?(selector = Lowest_delay) ?(k = 2)
     ?(priority = Token.Priority.highest) () =
   t.queries_served <- t.queries_served + 1;
+  let key =
+    Printf.sprintf "%d|%s|%s|%d" client (Name.to_string target)
+      (selector_tag selector) k
+  in
+  match (if t.frozen then Hashtbl.find_opt t.answers key else None) with
+  | Some stale ->
+    t.stale_served <- t.stale_served + 1;
+    stale
+  | None ->
   match lookup_name t target with
   | None -> []
   | Some dst ->
@@ -156,17 +182,21 @@ let query t ~client ~target ?(selector = Lowest_delay) ?(k = 2)
         | Secure -> List.filter (secure_path t) paths
         | Lowest_delay | Highest_bandwidth | Lowest_cost -> paths
       in
-      List.filter_map
-        (fun hops ->
-          match hops with
-          | [] -> None
-          | _ ->
-            let tokens = mint_tokens t ~client ~priority hops in
-            let route =
-              Sirpent.Route.of_hops ~priority ~tokens t.graph ~src:client hops
-            in
-            Some { hops; route; attrs = attributes_of t selector hops })
-        paths
+      let answer =
+        List.filter_map
+          (fun hops ->
+            match hops with
+            | [] -> None
+            | _ ->
+              let tokens = mint_tokens t ~client ~priority hops in
+              let route =
+                Sirpent.Route.of_hops ~priority ~tokens t.graph ~src:client hops
+              in
+              Some { hops; route; attrs = attributes_of t selector hops })
+          paths
+      in
+      Hashtbl.replace t.answers key answer;
+      answer
     end
 
 let query_latency t ~client ~target =

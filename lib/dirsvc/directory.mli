@@ -72,3 +72,18 @@ val query_latency : t -> client:Topo.Graph.node_id -> target:Name.t -> Sim.Time.
 
 val queries_served : t -> int
 val tokens_minted : t -> int
+
+(** {1 Staleness injection (fault model)}
+
+    A frozen directory stops recomputing routes: queries are answered from
+    the memo of the last fresh answer for the same (client, target,
+    selector, k) — even if the links those routes cross have since died.
+    This models a directory partitioned from topology updates, so clients
+    must discover route death on use (timeouts → failover), not at query
+    time. Queries with no memoized answer still compute fresh. *)
+
+val set_frozen : t -> bool -> unit
+val frozen : t -> bool
+
+val stale_served : t -> int
+(** Queries answered from the memo while frozen. *)

@@ -1,0 +1,155 @@
+module G = Topo.Graph
+module W = Netsim.World
+module Router = Sirpent.Router
+
+type stats = {
+  mutable links_failed : int;
+  mutable links_restored : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable frames_corrupted : int;
+  mutable bits_flipped : int;
+  mutable header_corruptions : int;
+  mutable payload_corruptions : int;
+  mutable trailer_corruptions : int;
+  mutable directory_freezes : int;
+}
+
+type t = {
+  world : W.t;
+  rng : Sim.Rng.t;
+  stats : stats;
+  corruption : (int, Corrupt.spec) Hashtbl.t;  (* keyed by link_id *)
+}
+
+let fresh_stats () =
+  {
+    links_failed = 0;
+    links_restored = 0;
+    crashes = 0;
+    restarts = 0;
+    frames_corrupted = 0;
+    bits_flipped = 0;
+    header_corruptions = 0;
+    payload_corruptions = 0;
+    trailer_corruptions = 0;
+    directory_freezes = 0;
+  }
+
+let stats t = t.stats
+let world t = t.world
+
+let on_corrupted t (spec : Corrupt.spec) bits =
+  t.stats.frames_corrupted <- t.stats.frames_corrupted + 1;
+  t.stats.bits_flipped <- t.stats.bits_flipped + bits;
+  match spec.Corrupt.region with
+  | Corrupt.Header -> t.stats.header_corruptions <- t.stats.header_corruptions + 1
+  | Corrupt.Payload -> t.stats.payload_corruptions <- t.stats.payload_corruptions + 1
+  | Corrupt.Trailer -> t.stats.trailer_corruptions <- t.stats.trailer_corruptions + 1
+  | Corrupt.Any -> ()
+
+let create ?(seed = 0x51123E17L) world =
+  let t =
+    {
+      world;
+      rng = Sim.Rng.create seed;
+      stats = fresh_stats ();
+      corruption = Hashtbl.create 8;
+    }
+  in
+  W.set_corruptor world (fun ~link bytes ->
+      match Hashtbl.find_opt t.corruption link.G.link_id with
+      | None -> None
+      | Some spec -> (
+        match Corrupt.corrupt t.rng spec bytes with
+        | None -> None
+        | Some (damaged, bits) ->
+          on_corrupted t spec bits;
+          Some damaged));
+  t
+
+let set_link_corruption t ~link spec =
+  Hashtbl.replace t.corruption link.G.link_id spec
+
+let clear_link_corruption t ~link = Hashtbl.remove t.corruption link.G.link_id
+
+let engine t = W.engine t.world
+
+let do_fail t link =
+  if G.link_alive (W.graph t.world) link then begin
+    W.fail_link t.world link;
+    t.stats.links_failed <- t.stats.links_failed + 1
+  end
+
+let do_restore t link =
+  if not (G.link_alive (W.graph t.world) link) then begin
+    W.restore_link t.world link;
+    t.stats.links_restored <- t.stats.links_restored + 1
+  end
+
+let fail_link_at t ~at link =
+  ignore (Sim.Engine.schedule_at (engine t) ~time:at (fun () -> do_fail t link))
+
+let restore_link_at t ~at link =
+  ignore (Sim.Engine.schedule_at (engine t) ~time:at (fun () -> do_restore t link))
+
+let exp_time t mean =
+  max 1 (Sim.Time.of_seconds (Sim.Rng.exponential t.rng ~mean:(Sim.Time.to_seconds mean)))
+
+let flap_link t ?(start = Sim.Time.zero) ?until ~mean_up ~mean_down link =
+  let eng = engine t in
+  let stopped time = match until with Some u -> time >= u | None -> false in
+  let rec fail_at time =
+    if not (stopped time) then
+      ignore
+        (Sim.Engine.schedule_at eng ~time (fun () ->
+             do_fail t link;
+             restore_at (time + exp_time t mean_down)))
+  and restore_at time =
+    (* Restores run even past [until]: a flapping link must not be left
+       dead forever just because the experiment window closed. *)
+    ignore
+      (Sim.Engine.schedule_at eng ~time (fun () ->
+           do_restore t link;
+           fail_at (time + exp_time t mean_up)))
+  in
+  fail_at (start + exp_time t mean_up)
+
+let crash_router_at t ~at ?down_for router =
+  let eng = engine t in
+  ignore
+    (Sim.Engine.schedule_at eng ~time:at (fun () ->
+         if Router.up router then begin
+           Router.crash router;
+           t.stats.crashes <- t.stats.crashes + 1
+         end;
+         match down_for with
+         | None -> ()
+         | Some d ->
+           ignore
+             (Sim.Engine.schedule eng ~delay:d (fun () ->
+                  if not (Router.up router) then begin
+                    Router.restart router;
+                    t.stats.restarts <- t.stats.restarts + 1
+                  end))))
+
+let restart_router_at t ~at router =
+  ignore
+    (Sim.Engine.schedule_at (engine t) ~time:at (fun () ->
+         if not (Router.up router) then begin
+           Router.restart router;
+           t.stats.restarts <- t.stats.restarts + 1
+         end))
+
+let freeze_directory_at t ~at ?thaw_after dir =
+  let eng = engine t in
+  ignore
+    (Sim.Engine.schedule_at eng ~time:at (fun () ->
+         Dirsvc.Directory.set_frozen dir true;
+         t.stats.directory_freezes <- t.stats.directory_freezes + 1;
+         match thaw_after with
+         | None -> ()
+         | Some d ->
+           ignore
+             (Sim.Engine.schedule eng ~delay:d (fun () ->
+                  Dirsvc.Directory.set_frozen dir false))))

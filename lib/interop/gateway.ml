@@ -62,7 +62,11 @@ let encapsulate t ~seg ~rest ~in_port =
         ~flags:{ Seg.vnt = false; dib = seg.Seg.flags.Seg.dib; rpf = true }
         ~priority:seg.Seg.priority ~token:seg.Seg.token ~port:in_port ()
     in
-    let viper_bytes = Viper.Trailer.append_hop rest return_seg in
+    match Viper.Trailer.append_hop rest return_seg with
+    | exception (Invalid_argument _ | Failure _) ->
+      (* trailer damaged in flight: count, don't raise out of the handler *)
+      t.bad_tunnel_info <- t.bad_tunnel_info + 1
+    | viper_bytes ->
     t.next_ident <- (t.next_ident + 1) land 0xFFFF;
     let header =
       {

@@ -35,6 +35,7 @@ and outport = {
   mutable dropped_no_link : int;
   mutable preempted : int;
   mutable corrupted : int;
+  mutable purged : int;  (** frames lost to a node crash (see [purge_node]) *)
   mutable busy_time : Sim.Time.t;
   qtrack : Sim.Stats.Timeweighted.t;
 }
@@ -47,6 +48,11 @@ and t = {
   outports : (G.node_id * G.port, outport) Hashtbl.t;
   ber : (int, float) Hashtbl.t;  (** link_id -> bit error rate *)
   rng : Sim.Rng.t;
+  mutable corruptor : (link:G.link -> bytes -> bytes option) option;
+      (** externally injected damage model (see [Faults]); takes precedence
+          over the flat per-link BER table *)
+  handler_errors : (G.node_id, int) Hashtbl.t;
+  mutable total_handler_errors : int;
   mutable next_frame_id : int;
   mutable undelivered : int;
   mutable trace : Sim.Trace.t option;
@@ -61,6 +67,9 @@ let create ?(default_buffer_bytes = 256 * 1024) engine graph =
     outports = Hashtbl.create 256;
     ber = Hashtbl.create 8;
     rng = Sim.Rng.create 0xC0FFEEL;
+    corruptor = None;
+    handler_errors = Hashtbl.create 8;
+    total_handler_errors = 0;
     next_frame_id = 0;
     undelivered = 0;
     trace = None;
@@ -96,6 +105,7 @@ let outport t node port =
         dropped_no_link = 0;
         preempted = 0;
         corrupted = 0;
+        purged = 0;
         busy_time = 0;
         qtrack = Sim.Stats.Timeweighted.create ~start:(now t) ~initial:0.0;
       }
@@ -113,28 +123,50 @@ let fresh_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
 
 let set_buffer_bytes t ~node ~port n = (outport t node port).buffer_bytes <- n
 let set_bit_error_rate t ~link_id p = Hashtbl.replace t.ber link_id p
+let set_corruptor t f = t.corruptor <- Some f
+let clear_corruptor t = t.corruptor <- None
 let fail_link t link = G.disconnect t.graph link
+let restore_link t link = G.reconnect t.graph link
 
 let maybe_corrupt t op link frame =
-  match Hashtbl.find_opt t.ber link.G.link_id with
+  let damaged =
+    match t.corruptor with
+    | Some f -> f ~link frame.Frame.payload
+    | None -> (
+      match Hashtbl.find_opt t.ber link.G.link_id with
+      | None -> None
+      | Some p ->
+        let bits = Frame.bits frame in
+        let p_frame = 1.0 -. ((1.0 -. p) ** float_of_int bits) in
+        if Sim.Rng.float t.rng 1.0 >= p_frame then None
+        else begin
+          let payload = Bytes.copy frame.Frame.payload in
+          let i = Sim.Rng.int t.rng (max 1 (Bytes.length payload)) in
+          Bytes.set payload i
+            (Char.chr
+               (Char.code (Bytes.get payload i) lxor (1 lsl Sim.Rng.int t.rng 8)));
+          Some payload
+        end)
+  in
+  match damaged with
   | None -> frame
-  | Some p ->
-    let bits = Frame.bits frame in
-    let p_frame = 1.0 -. ((1.0 -. p) ** float_of_int bits) in
-    if Sim.Rng.float t.rng 1.0 >= p_frame then frame
-    else begin
-      op.corrupted <- op.corrupted + 1;
-      let payload = Bytes.copy frame.Frame.payload in
-      let i = Sim.Rng.int t.rng (max 1 (Bytes.length payload)) in
-      Bytes.set payload i
-        (Char.chr (Char.code (Bytes.get payload i) lxor (1 lsl Sim.Rng.int t.rng 8)));
-      { frame with Frame.payload; Frame.aborted = false }
-    end
+  | Some payload ->
+    op.corrupted <- op.corrupted + 1;
+    { frame with Frame.payload = payload; Frame.aborted = false }
 
+(* A raising node handler must not take the whole simulation down: the
+   event loop survives, the fault is charged to the receiving node. *)
 let deliver t ~link ~from_node ~frame ~head ~tail =
   let peer_node, peer_port = G.peer link from_node in
   match Hashtbl.find_opt t.handlers peer_node with
-  | Some h -> h t ~in_port:peer_port ~frame ~head ~tail
+  | Some h -> (
+    try h t ~in_port:peer_port ~frame ~head ~tail
+    with exn ->
+      t.total_handler_errors <- t.total_handler_errors + 1;
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.handler_errors peer_node) in
+      Hashtbl.replace t.handler_errors peer_node (n + 1);
+      trace t "node %d: handler raised %s on frame#%d" peer_node
+        (Printexc.to_string exn) frame.Frame.id)
   | None -> t.undelivered <- t.undelivered + 1
 
 (* Begin transmitting [frame] on [op], which must be idle, over [link]. *)
@@ -245,6 +277,7 @@ type port_stats = {
   dropped_no_link : int;
   preempted : int;
   corrupted : int;
+  purged : int;
   busy_time : Sim.Time.t;
   mean_queue : float;
   max_queue : float;
@@ -260,10 +293,50 @@ let port_stats t ~node ~port =
     dropped_no_link = op.dropped_no_link;
     preempted = op.preempted;
     corrupted = op.corrupted;
+    purged = op.purged;
     busy_time = op.busy_time;
     mean_queue = Sim.Stats.Timeweighted.mean op.qtrack ~now:(now t);
     max_queue = Sim.Stats.Timeweighted.max op.qtrack;
   }
+
+(* Crash support: abort the in-flight transmission and drop every queued
+   frame on all of [node]'s outports. Returns the number of frames lost. *)
+let purge_node t ~node =
+  let total = ref 0 in
+  Hashtbl.iter
+    (fun (n, _) op ->
+      if n = node then begin
+        let dropped = ref 0 in
+        (match op.current with
+        | Some tx ->
+          Sim.Engine.cancel t.engine tx.delivery;
+          Sim.Engine.cancel t.engine tx.completion;
+          tx.tx_frame.Frame.aborted <- true;
+          tx.delivered_frame.Frame.aborted <- true;
+          op.current <- None;
+          incr dropped
+        | None -> ());
+        let rec drain () =
+          match Sim.Heap.pop op.queue with
+          | None -> ()
+          | Some (_, _, frame) ->
+            op.queued_bytes <- op.queued_bytes - Bytes.length frame.Frame.payload;
+            incr dropped;
+            drain ()
+        in
+        drain ();
+        Sim.Stats.Timeweighted.set op.qtrack ~now:(now t) 0.0;
+        op.purged <- op.purged + !dropped;
+        total := !total + !dropped
+      end)
+    t.outports;
+  if !total > 0 then trace t "node %d: crash purged %d frames" node !total;
+  !total
+
+let handler_errors t ~node =
+  Option.value ~default:0 (Hashtbl.find_opt t.handler_errors node)
+
+let total_handler_errors t = t.total_handler_errors
 
 let utilization t ~node ~port =
   let op = outport t node port in

@@ -52,9 +52,25 @@ val set_bit_error_rate : t -> link_id:int -> float -> unit
 (** Independent per-bit corruption probability; a corrupted delivery has a
     random payload byte flipped (the header-corruption scenario of §4.1). *)
 
+val set_corruptor : t -> (link:Topo.Graph.link -> bytes -> bytes option) -> unit
+(** Install an external damage model (the fault injector): called for every
+    frame entering a link with the outgoing payload; returning [Some b]
+    delivers [b] instead (counted in [corrupted]). Takes precedence over
+    the flat {!set_bit_error_rate} table. *)
+
+val clear_corruptor : t -> unit
+
 val fail_link : t -> Topo.Graph.link -> unit
 (** Take a link down: removes it from the topology; frames already in
     flight still arrive; subsequent sends get [Dropped_no_link]. *)
+
+val restore_link : t -> Topo.Graph.link -> unit
+(** Bring a failed link back on its original ports. *)
+
+val purge_node : t -> node:Topo.Graph.node_id -> int
+(** Crash support: abort the in-flight transmission and drop all queued
+    frames on every outport of [node]; returns the number of frames lost
+    (counted in [purged]). *)
 
 (** {1 Introspection for congestion control and experiments} *)
 
@@ -70,6 +86,7 @@ type port_stats = {
   dropped_no_link : int;
   preempted : int;  (** transmissions aborted by a preemptive frame *)
   corrupted : int;
+  purged : int;  (** frames lost to a node crash *)
   busy_time : Sim.Time.t;  (** total time the port was transmitting *)
   mean_queue : float;  (** time-averaged queue length (excluding in service) *)
   max_queue : float;
@@ -82,6 +99,13 @@ val utilization : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> float
 
 val undelivered : t -> int
 (** Frames that arrived at nodes with no handler. *)
+
+val handler_errors : t -> node:Topo.Graph.node_id -> int
+(** Exceptions raised out of this node's handler. A raising handler must
+    not corrupt the event loop: the exception is caught, counted here, and
+    the simulation keeps running. *)
+
+val total_handler_errors : t -> int
 
 val set_trace : t -> Sim.Trace.t -> unit
 (** Attach a debug trace: drops, overflows and preemptions are recorded

@@ -87,7 +87,26 @@ let disconnect g link =
   Hashtbl.remove (get g link.b).ports link.b_port;
   g.all_links <- List.filter (fun l -> l.link_id <> link.link_id) g.all_links
 
+(* Re-attach a previously disconnected link on its original ports. A link
+   that was never disconnected (or whose ports were since reused) is left
+   alone rather than clobbering another link. *)
+let reconnect g link =
+  let na = get g link.a and nb = get g link.b in
+  let a_free = not (Hashtbl.mem na.ports link.a_port) in
+  let b_free = not (Hashtbl.mem nb.ports link.b_port) in
+  if a_free && b_free then begin
+    Hashtbl.replace na.ports link.a_port link;
+    Hashtbl.replace nb.ports link.b_port link;
+    if not (List.exists (fun l -> l.link_id = link.link_id) g.all_links) then
+      g.all_links <- link :: g.all_links
+  end
+
 let link_via g id p = Hashtbl.find_opt (get g id).ports p
+
+let link_alive g link =
+  match Hashtbl.find_opt (get g link.a).ports link.a_port with
+  | Some l -> l.link_id = link.link_id
+  | None -> false
 
 let peer link n =
   if n = link.a then (link.b, link.b_port)

@@ -48,6 +48,14 @@ val disconnect : t -> link -> unit
 (** Remove a link (models link failure at the topology level). The ports it
     used are not reassigned. *)
 
+val reconnect : t -> link -> unit
+(** Re-attach a previously disconnected link on its original ports (models
+    link repair, enabling flapping-link fault injection). A no-op if either
+    port is occupied or the link was never disconnected. *)
+
+val link_alive : t -> link -> bool
+(** Whether this exact link is currently attached. *)
+
 val link_via : t -> node_id -> port -> link option
 (** The link attached to this node's port, if any. *)
 

@@ -34,12 +34,13 @@ let build ~route ~data =
   Wire.Buf.contents w
 
 let read_route r =
-  let rec go acc =
+  let rec go n acc =
+    if n > max_route_segments then invalid_arg "Packet: route too long";
     let seg = Segment.read r in
-    if seg.Segment.flags.Segment.vnt then go (seg :: acc)
+    if seg.Segment.flags.Segment.vnt then go (n + 1) (seg :: acc)
     else List.rev (seg :: acc)
   in
-  go []
+  go 1 []
 
 let decode bytes =
   let r = Wire.Buf.reader_of_bytes bytes in
@@ -69,10 +70,23 @@ let encode t =
   in
   with_trailer
 
+type nonrec error = Segment.error = Truncated | Malformed of string
+
+let wrap f x =
+  match f x with
+  | v -> Ok v
+  | exception (Wire.Buf.Underflow | Wire.Buf.Overflow) -> Error Segment.Truncated
+  | exception Invalid_argument m -> Error (Segment.Malformed m)
+  | exception Failure m -> Error (Segment.Malformed m)
+
+let parse bytes = wrap decode bytes
+
 let strip_leading bytes =
   let r = Wire.Buf.reader_of_bytes bytes in
   let seg = Segment.read r in
   (seg, Wire.Buf.take_rest r)
+
+let parse_leading bytes = wrap strip_leading bytes
 
 let forward bytes ~return_seg =
   let seg, rest = strip_leading bytes in
@@ -86,8 +100,7 @@ let truncate_to bytes ~max =
     Trailer.append_truncation_marker (Bytes.cat kept Trailer.empty)
   end
 
-let return_route t =
-  if truncated t then failwith "Packet.return_route: packet was truncated";
+let return_route_hops t =
   let hops =
     List.filter_map
       (function Trailer.Hop s -> Some s | Trailer.Truncated -> None)
@@ -100,6 +113,14 @@ let return_route t =
       hops
   in
   normalize_vnt reversed
+
+let return_route t =
+  if truncated t then failwith "Packet.return_route: packet was truncated";
+  return_route_hops t
+
+let return_route_r t =
+  if truncated t then Error (Segment.Malformed "Packet.return_route: truncated")
+  else Ok (return_route_hops t)
 
 let peek_ports bytes =
   let r = Wire.Buf.reader_of_bytes bytes in

@@ -32,6 +32,25 @@ val build : route:Segment.t list -> data:bytes -> bytes
 val decode : bytes -> t
 (** Raises [Invalid_argument] / [Wire.Buf.Underflow] on malformed bytes. *)
 
+(** {1 Non-raising parse}
+
+    The hardened packet path: anything handling bytes that crossed a lossy
+    link uses these, so corruption becomes a counted drop rather than an
+    exception unwinding the simulator. *)
+
+type nonrec error = Segment.error = Truncated | Malformed of string
+
+val parse : bytes -> (t, error) result
+(** Like {!decode}, but never raises. Verifies trailer structure and
+    per-entry checksums. *)
+
+val parse_leading : bytes -> (Segment.t * bytes, error) result
+(** Like {!strip_leading}, but never raises. *)
+
+val return_route_r : t -> (Segment.t list, error) result
+(** Like {!return_route}, but never raises: a truncated packet yields
+    [Error] — a damaged trailer must never become a bogus route. *)
+
 val encode : t -> bytes
 (** Inverse of {!decode} (for tests; routers use the byte-level ops). *)
 

@@ -84,6 +84,21 @@ let decode b =
   if Wire.Buf.remaining r <> 0 then invalid_arg "Segment.decode: trailing bytes";
   t
 
+type error = Truncated | Malformed of string
+
+let error_to_string = function
+  | Truncated -> "truncated"
+  | Malformed m -> "malformed (" ^ m ^ ")"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let parse b =
+  match decode b with
+  | t -> Ok t
+  | exception (Wire.Buf.Underflow | Wire.Buf.Overflow) -> Error Truncated
+  | exception Invalid_argument m -> Error (Malformed m)
+  | exception Failure m -> Error (Malformed m)
+
 let peek_port b ~off = Char.code (Bytes.get b (off + 2))
 
 let equal a b =

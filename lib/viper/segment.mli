@@ -76,6 +76,21 @@ val encode : t -> bytes
 val decode : bytes -> t
 (** [decode] requires the buffer to contain exactly one segment. *)
 
+(** {1 Non-raising parse}
+
+    Routers sit on the corruption path: a damaged frame must become a
+    counted drop, never an exception out of the frame handler. *)
+
+type error =
+  | Truncated  (** input ended mid-field *)
+  | Malformed of string  (** structurally invalid bytes *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val parse : bytes -> (t, error) result
+(** Like {!decode}, but never raises. *)
+
 val peek_port : bytes -> off:int -> int
 (** The port field without a full parse — the field order exists precisely
     so "the router can make the switching decision while the

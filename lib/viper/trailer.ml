@@ -3,23 +3,44 @@ type entry = Hop of Segment.t | Truncated
 let marker = 0xFFFF
 let max_entry = 0xFFFE
 
-let empty = Bytes.make 2 '\000'
+(* Integrity bytes: XOR over the protected bytes, seeded so an all-zero
+   run does not self-validate. A single flipped bit anywhere in a hop
+   entry's segment — or in the total field — is guaranteed to be caught
+   (XOR is linear), which is what lets a receiver reject a damaged trailer
+   instead of building a bogus return route from it. The total gets its
+   own check byte so a truncation that cleanly severs the trailer cannot
+   leave trailing payload bytes posing as an (empty) trailer. *)
+let cksum_seed = 0x5A
+
+let cksum b = Bytes.fold_left (fun acc c -> acc lxor Char.code c) cksum_seed b
+
+let check_of_total total = cksum_seed lxor (total lsr 8) lxor (total land 0xFF)
+
+let empty =
+  let b = Bytes.make 3 '\000' in
+  Bytes.set b 0 (Char.chr (check_of_total 0));
+  b
 
 let read_u16_at b off =
   if off < 0 || off + 2 > Bytes.length b then
     invalid_arg "Trailer: malformed (short)";
   Bytes.get_uint16_be b off
 
-let total_of b = read_u16_at b (Bytes.length b - 2)
+let total_of b =
+  let n = Bytes.length b in
+  let total = read_u16_at b (n - 2) in
+  if n < 3 || Char.code (Bytes.get b (n - 3)) <> check_of_total total then
+    invalid_arg "Trailer: total checksum";
+  total
 
 let size packet =
   let total = total_of packet in
-  let sz = total + 2 in
+  let sz = total + 3 in
   if sz > Bytes.length packet then invalid_arg "Trailer: total exceeds packet";
   sz
 
 let entries packet =
-  let stop = Bytes.length packet - 2 in
+  let stop = Bytes.length packet - 3 in
   let start = stop - total_of packet in
   if start < 0 then invalid_arg "Trailer: total exceeds packet";
   (* Walk backwards through trailing length fields, accumulating in
@@ -30,35 +51,46 @@ let entries packet =
       let len = read_u16_at packet (pos - 2) in
       if len = marker then walk (pos - 2) (Truncated :: acc)
       else begin
-        let seg_start = pos - 2 - len in
+        let seg_start = pos - 3 - len in
         if seg_start < start then invalid_arg "Trailer: entry exceeds trailer";
-        let seg =
-          Segment.decode (Bytes.sub packet seg_start len)
-        in
+        if len < Segment.fixed_size then invalid_arg "Trailer: entry too small";
+        let seg_bytes = Bytes.sub packet seg_start len in
+        let check = Char.code (Bytes.get packet (pos - 3)) in
+        if check <> cksum seg_bytes then invalid_arg "Trailer: entry checksum";
+        let seg = Segment.decode seg_bytes in
         walk seg_start (Hop seg :: acc)
       end
     end
   in
   walk stop []
 
+let parse_entries packet =
+  match entries packet with
+  | es -> Ok es
+  | exception (Wire.Buf.Underflow | Wire.Buf.Overflow) -> Error Segment.Truncated
+  | exception Invalid_argument m -> Error (Segment.Malformed m)
+  | exception Failure m -> Error (Segment.Malformed m)
+
 let with_appended packet extra_entry_bytes =
   let old_total = total_of packet in
-  let body = Bytes.length packet - 2 in
+  let body = Bytes.length packet - 3 in
   let added = Bytes.length extra_entry_bytes in
   let new_total = old_total + added in
   if new_total > 0xFFFF then invalid_arg "Trailer: overflow";
   let out = Bytes.create (Bytes.length packet + added) in
   Bytes.blit packet 0 out 0 body;
   Bytes.blit extra_entry_bytes 0 out body added;
-  Bytes.set_uint16_be out (body + added) new_total;
+  Bytes.set out (body + added) (Char.chr (check_of_total new_total));
+  Bytes.set_uint16_be out (body + added + 1) new_total;
   out
 
 let append_hop packet seg =
   let seg_bytes = Segment.encode seg in
   let len = Bytes.length seg_bytes in
   if len > max_entry then invalid_arg "Trailer.append_hop: segment too large";
-  let w = Wire.Buf.create_writer (len + 2) in
+  let w = Wire.Buf.create_writer (len + 3) in
   Wire.Buf.put_bytes w seg_bytes;
+  Wire.Buf.put_u8 w (cksum seg_bytes);
   Wire.Buf.put_u16 w len;
   with_appended packet (Wire.Buf.contents w)
 

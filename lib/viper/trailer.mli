@@ -8,31 +8,43 @@
     it as:
 
     {v
-      trailer      := entry* total:u16
-      entry        := segment-bytes len:u16     (len = |segment-bytes|)
-      trunc-marker := len:u16 = 0xFFFF          (no segment bytes)
+      trailer      := entry* check:u8 total:u16
+      entry        := segment-bytes cksum:u8 len:u16   (len = |segment-bytes|)
+      trunc-marker := len:u16 = 0xFFFF                 (no segment bytes)
     v}
 
-    [total] counts every entry byte (excluding itself), so the trailer is
-    found from the packet end without knowing the hop count, and entries
-    are walked backwards through their trailing length fields — exactly
-    the network-independent reversal §2 requires. The 0xFFFF marker is the
-    "special segment ... which is not a legal Sirpent header segment"
-    appended when a router truncates an over-MTU packet. *)
+    [total] counts every entry byte (excluding the terminator), so the
+    trailer is found from the packet end without knowing the hop count,
+    and entries are walked backwards through their trailing length fields
+    — exactly the network-independent reversal §2 requires. The 0xFFFF
+    marker is the "special segment ... which is not a legal Sirpent header
+    segment" appended when a router truncates an over-MTU packet.
+
+    [cksum] is a seeded XOR over the entry's segment bytes and [check] the
+    same over the total field. The return route is rebuilt from the
+    trailer alone, so a bit error here would otherwise silently misroute
+    the reply: any single-bit damage to an entry or to the framing is
+    guaranteed to be rejected at parse time instead, and a truncation that
+    severs the trailer cleanly cannot leave payload bytes posing as an
+    empty one. *)
 
 type entry = Hop of Segment.t | Truncated
 
 val empty : bytes
-(** The 2-byte trailer of a freshly built packet (total = 0). *)
+(** The 3-byte trailer of a freshly built packet (total = 0). *)
 
 val size : bytes -> int
-(** Total trailer size in bytes (entries + the 2-byte total field) of the
+(** Total trailer size in bytes (entries + the 3-byte terminator) of the
     trailer at the end of [packet]. Raises [Invalid_argument] if the bytes
     do not end in a well-formed trailer. *)
 
 val entries : bytes -> entry list
 (** Entries of the trailer ending [packet], in the order appended
-    (first hop first). *)
+    (first hop first). Raises on structural damage or a checksum
+    mismatch. *)
+
+val parse_entries : bytes -> (entry list, Segment.error) result
+(** Like {!entries}, but never raises. *)
 
 val append_hop : bytes -> Segment.t -> bytes
 (** [append_hop packet seg] is the packet with [seg] moved onto the end of

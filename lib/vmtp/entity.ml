@@ -174,7 +174,9 @@ let send_group t ~route ~priority packets ~indices =
   in
   go 0 indices
 
-(* Send one packet back over the return route of [via]. *)
+(* Send one packet back over the return route of [via]. A damaged sample
+   (truncated trailer, over-long rebuilt route) must read as a loss — the
+   peer retransmits and supplies a fresh return route — not as a raise. *)
 let send_via t ~via packet =
   let sample_packet, in_port = via in
   t.packets_sent <- t.packets_sent + 1;
@@ -182,7 +184,7 @@ let send_via t ~via packet =
     Sirpent.Host.reply t.host ~to_packet:sample_packet ~in_port ~data:packet ()
   with
   | _ -> ()
-  | exception Failure _ -> ()
+  | exception (Failure _ | Invalid_argument _) -> ()
 
 let fresh_partial () =
   {
@@ -439,8 +441,11 @@ let handle_ack t (p : Wf.t) =
 
 let on_host_receive t _host ~packet ~in_port =
   let payload = packet.Viper.Packet.data in
+  (* Any undecodable transport payload is a corruption loss: count it and
+     let the retransmit → route-failover ladder recover. *)
   match Wf.decode payload with
-  | exception Invalid_argument _ -> t.rejected_checksum <- t.rejected_checksum + 1
+  | exception (Invalid_argument _ | Wire.Buf.Underflow) ->
+    t.rejected_checksum <- t.rejected_checksum + 1
   | p ->
     if not (Wf.checksum_ok payload) then
       t.rejected_checksum <- t.rejected_checksum + 1

@@ -86,7 +86,7 @@ let truncated_segment_underflows () =
 
 let trailer_empty () =
   let packet = Bytes.cat (Bytes.of_string "data") Viper.Trailer.empty in
-  check_int "size" 2 (Viper.Trailer.size packet);
+  check_int "size" 3 (Viper.Trailer.size packet);
   Alcotest.(check int) "no entries" 0 (List.length (Viper.Trailer.entries packet))
 
 let trailer_append_order () =
@@ -223,6 +223,83 @@ let header_bytes_measures_first () =
 let overhead_sums () =
   check_int "3 minimal segments" 12 (Pkt.total_header_overhead ~route:route3)
 
+(* --- damaged trailers (hardened path): never a bogus route --- *)
+
+(* A packet that has crossed two routers, so its trailer carries a real
+   two-hop return route. *)
+let forwarded_packet () =
+  let p = ref (Pkt.build ~route:route3 ~data:(Bytes.of_string "payload!")) in
+  List.iter
+    (fun ip ->
+      let _, fwd =
+        Pkt.forward !p
+          ~return_seg:(Seg.make ~flags:{ Seg.no_flags with Seg.rpf = true } ~port:ip ())
+      in
+      p := fwd)
+    [ 11; 12 ];
+  !p
+
+let reference_return_route whole =
+  match Pkt.parse whole with
+  | Ok t -> (
+    match Pkt.return_route_r t with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "undamaged packet must reverse")
+  | Error _ -> Alcotest.fail "undamaged packet must parse"
+
+(* Damage must surface as a parse error (or, at worst, the unchanged
+   route) — never as a different-looking valid return route, which would
+   silently misdirect the reply. *)
+let assert_no_bogus_route ~what reference damaged =
+  match Pkt.parse damaged with
+  | Error _ -> ()
+  | Ok t -> (
+    match Pkt.return_route_r t with
+    | Error _ -> ()
+    | Ok r ->
+      if not (List.equal Seg.equal r reference) then
+        Alcotest.failf "%s yielded a bogus return route" what)
+
+let every_trailer_bit_flip_detected () =
+  (* Exhaustive and deterministic: flip each single bit of the trailer
+     region in turn. The per-entry XOR checksum makes single-bit damage
+     inside an entry a guaranteed parse error; flips in the length/total
+     framing must at minimum never produce a different valid route. *)
+  let whole = forwarded_packet () in
+  let reference = reference_return_route whole in
+  let tr = Viper.Trailer.size whole in
+  let off = Bytes.length whole - tr in
+  for bit = 0 to (tr * 8) - 1 do
+    let damaged = Bytes.copy whole in
+    let byte = off + (bit / 8) and mask = 1 lsl (bit mod 8) in
+    Bytes.set damaged byte (Char.chr (Char.code (Bytes.get damaged byte) lxor mask));
+    assert_no_bogus_route ~what:(Printf.sprintf "trailer bit flip %d" bit)
+      reference damaged
+  done
+
+let every_truncation_detected () =
+  (* Cut the packet at every possible length: no prefix may parse into a
+     different valid return route. *)
+  let whole = forwarded_packet () in
+  let reference = reference_return_route whole in
+  for cut = 0 to Bytes.length whole - 1 do
+    assert_no_bogus_route ~what:(Printf.sprintf "truncation to %d bytes" cut)
+      reference (Bytes.sub whole 0 cut)
+  done
+
+let parse_reports_errors_not_exceptions () =
+  let whole = forwarded_packet () in
+  (* total field pointing past the packet start *)
+  let damaged = Bytes.copy whole in
+  Bytes.set damaged (Bytes.length damaged - 1) '\xff';
+  Bytes.set damaged (Bytes.length damaged - 2) '\x7f';
+  (match Pkt.parse damaged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized trailer total must not parse");
+  match Viper.Trailer.parse_entries damaged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_entries must reject oversized total"
+
 (* --- multicast codec --- *)
 
 let multicast_roundtrip () =
@@ -333,6 +410,12 @@ let () =
           Alcotest.test_case "empty" `Quick trailer_empty;
           Alcotest.test_case "append order" `Quick trailer_append_order;
           Alcotest.test_case "truncation marker" `Quick trailer_truncation_marker;
+          Alcotest.test_case "every bit flip detected" `Quick
+            every_trailer_bit_flip_detected;
+          Alcotest.test_case "every truncation detected" `Quick
+            every_truncation_detected;
+          Alcotest.test_case "errors not exceptions" `Quick
+            parse_reports_errors_not_exceptions;
         ] );
       ( "packet",
         [
