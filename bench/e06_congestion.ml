@@ -11,7 +11,7 @@ let pf = Printf.printf
 let trunk_bps = 2_000_000
 let packet_bytes = 1000
 
-let run_once ~offered_ratio ~with_control =
+let run_once ~horizon ~offered_ratio ~with_control =
   let g = G.create () in
   let sources = Array.init 3 (fun _ -> G.add_node g G.Host) in
   let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
@@ -28,7 +28,6 @@ let run_once ~offered_ratio ~with_control =
   ignore (Sirpent.Router.create ~config world ~node:r2 ());
   let h_sink = Sirpent.Host.create world ~node:sink in
   Sirpent.Host.set_receive h_sink (fun _ ~packet:_ ~in_port:_ -> ());
-  let horizon = Sim.Time.s 4 in
   let per_source_bps = float_of_int trunk_bps *. offered_ratio /. 3.0 in
   let gap = Sim.Time.of_seconds (float_of_int (8 * packet_bytes) /. per_source_bps) in
   Array.iter
@@ -51,25 +50,47 @@ let run_once ~offered_ratio ~with_control =
 
 let run () =
   Util.heading "E6  \xc2\xa72.2 rate-based congestion control under overload";
-  pf "3 sources -> 2 Mb/s trunk, 24 KB output buffer, 4 s simulated.\n\n";
+  let horizon = Util.scaled ~full:(Sim.Time.s 4) ~smoke:(Sim.Time.s 1) in
+  pf "3 sources -> 2 Mb/s trunk, 24 KB output buffer, %.0f s simulated.\n\n"
+    (Sim.Time.to_seconds horizon);
+  let ratios = Util.scaled ~full:[ 0.8; 1.2; 2.0; 3.0 ] ~smoke:[ 0.8; 2.0 ] in
+  let json_rows = ref [] in
   let rows =
     List.concat_map
       (fun ratio ->
-        let d0, g0, u0, q0 = run_once ~offered_ratio:ratio ~with_control:false in
-        let d1, g1, u1, q1 = run_once ~offered_ratio:ratio ~with_control:true in
-        [
+        let cell ~with_control =
+          let d, g, u, q = run_once ~horizon ~offered_ratio:ratio ~with_control in
+          json_rows :=
+            Util.J.Obj
+              [
+                ("offered_ratio", Util.J.Float ratio);
+                ("control", Util.J.Bool with_control);
+                ("dropped_overflow", Util.J.Int d);
+                ("delivered", Util.J.Int g);
+                ("trunk_utilization", Util.J.Float u);
+                ("mean_queue", Util.J.Float q);
+              ]
+            :: !json_rows;
           [
-            Util.f1 ratio; "off"; Util.i d0; Util.i g0; Util.pct u0; Util.f1 q0;
-          ];
-          [
-            Util.f1 ratio; "on"; Util.i d1; Util.i g1; Util.pct u1; Util.f1 q1;
-          ];
-        ])
-      [ 0.8; 1.2; 2.0; 3.0 ]
+            Util.f1 ratio;
+            (if with_control then "on" else "off");
+            Util.i d; Util.i g; Util.pct u; Util.f1 q;
+          ]
+        in
+        [ cell ~with_control:false; cell ~with_control:true ])
+      ratios
   in
   Util.table
     ~header:[ "offered/capacity"; "control"; "drops"; "delivered"; "trunk util"; "mean Q" ]
     rows;
+  Util.write_json ~exp:"e06"
+    (Util.J.Obj
+       [
+         ("experiment", Util.J.String "e06");
+         ("description", Util.J.String "rate-based congestion control under overload");
+         ("horizon_s", Util.J.Float (Sim.Time.to_seconds horizon));
+         ("rows", Util.J.List (List.rev !json_rows));
+       ]);
   pf "\npaper check: below capacity the two behave alike; past capacity the\n";
   pf "uncontrolled trunk overflows its buffer while backpressure holds packets\n";
   pf "at the sources, eliminating loss at equal-or-better delivered volume.\n"

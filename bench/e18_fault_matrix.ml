@@ -22,8 +22,10 @@ module Router = Sirpent.Router
 let pf = Printf.printf
 let props = G.default_props
 
-let horizon = Sim.Time.s 10
-let crash_time = Sim.Time.s 5
+(* Smoke mode shrinks the run to 4 s; the crash always lands mid-run and
+   the directory freeze covers the middle two fifths of the horizon. *)
+let horizon () = Util.scaled ~full:(Sim.Time.s 10) ~smoke:(Sim.Time.s 4)
+let crash_time () = horizon () / 2
 let crash_down = Sim.Time.s 1
 let send_interval = Sim.Time.ms 20
 let req_bytes = 512
@@ -57,9 +59,10 @@ type cell = {
 }
 
 (* One simulation: BER on the primary (ra) trunk links, optional flapping
-   of ra-r3, the ra router crashed at 5 s, directory frozen 2 s..6 s so
-   mid-run route queries are served stale. *)
+   of ra-r3, the ra router crashed mid-run, directory frozen over the
+   middle of the run so mid-run route queries are served stale. *)
 let run_cell ~ber ~flap =
+  let horizon = horizon () and crash_time = crash_time () in
   let g, src, dst, router_nodes, ra, primary_links, flappy = build () in
   let engine = Sim.Engine.create () in
   let world = W.create engine g in
@@ -86,8 +89,8 @@ let run_cell ~ber ~flap =
       ~until:(horizon - Sim.Time.s 1) ~mean_up ~mean_down flappy);
   Faults.Injector.crash_router_at inj ~at:crash_time ~down_for:crash_down
     (List.assoc ra routers);
-  Faults.Injector.freeze_directory_at inj ~at:(Sim.Time.s 2)
-    ~thaw_after:(Sim.Time.s 4) dir;
+  Faults.Injector.freeze_directory_at inj ~at:(horizon / 5)
+    ~thaw_after:(horizon * 2 / 5) dir;
   let completed = ref 0 and failed = ref 0 and first_after = ref 0 in
   let rec caller t =
     if t < horizon then
@@ -132,6 +135,7 @@ let run_cell ~ber ~flap =
    src-r0 access link (requests only, before any fault diversity), single
    clean path so the counters isolate where each damage class lands. *)
 let run_region ~region ~ber =
+  let horizon = horizon () in
   let g = G.create () in
   let src = G.add_node g G.Host and dst = G.add_node g G.Host in
   let r = G.add_node g G.Router in
@@ -190,17 +194,30 @@ let flap_name = function
 
 let run () =
   Util.heading "E18 fault matrix: goodput under corruption, flapping and crashes";
+  let horizon = horizon () and crash_time = crash_time () in
   pf "src-r0-(ra|rb)-r3-dst; BER on the ra trunk links, ra-r3 flapping,\n";
-  pf "ra crashed at 5 s for 1 s, directory frozen 2-6 s; 50 req/s for 10 s.\n";
+  pf "ra crashed at %.0f s for 1 s, directory frozen %.1f-%.1f s; 50 req/s for %.0f s.\n"
+    (Sim.Time.to_seconds crash_time)
+    (Sim.Time.to_seconds (horizon / 5))
+    (Sim.Time.to_seconds (horizon * 3 / 5))
+    (Sim.Time.to_seconds horizon);
   pf "Every transaction must complete via failover or fail cleanly.\n\n";
   let attempted =
     (Sim.Time.to_ms horizon -. 10.0) /. Sim.Time.to_ms send_interval
     |> ceil |> int_of_float
   in
-  let bers = [ 0.0; 1e-6; 1e-5; 1e-4 ] in
+  let bers = Util.scaled ~full:[ 0.0; 1e-6; 1e-5; 1e-4 ] ~smoke:[ 0.0; 1e-4 ] in
   let flaps =
-    [ None; Some (Sim.Time.s 2, Sim.Time.ms 200); Some (Sim.Time.ms 500, Sim.Time.ms 200) ]
+    Util.scaled
+      ~full:
+        [
+          None;
+          Some (Sim.Time.s 2, Sim.Time.ms 200);
+          Some (Sim.Time.ms 500, Sim.Time.ms 200);
+        ]
+      ~smoke:[ None; Some (Sim.Time.ms 500, Sim.Time.ms 200) ]
   in
+  let json_cells = ref [] in
   let rows =
     List.concat_map
       (fun ber ->
@@ -208,6 +225,19 @@ let run () =
           (fun flap ->
             let c = run_cell ~ber ~flap in
             assert (c.completed + c.failed = attempted);
+            json_cells :=
+              Util.J.Obj
+                [
+                  ("ber", Util.J.Float ber);
+                  ("flap", Util.J.String (flap_name flap));
+                  ("completed", Util.J.Int c.completed);
+                  ("failed", Util.J.Int c.failed);
+                  ("crash_gap_ms", Util.J.Float (Sim.Time.to_ms c.crash_gap));
+                  ("corrupted", Util.J.Int c.corrupted);
+                  ("malformed_drops", Util.J.Int c.malformed_drops);
+                  ("stale_served", Util.J.Int c.stale);
+                ]
+              :: !json_cells;
             [
               Printf.sprintf "%.0e" ber;
               flap_name flap;
@@ -235,12 +265,26 @@ let run () =
   pf "frozen directory is replaying stale routes.\n";
 
   Util.subheading "region-aimed corruption (BER 1e-4 on every link, one clean path)";
+  let json_regions = ref [] in
   let rows =
     List.map
       (fun (label, region) ->
         let ok, fail, corrupted, malformed, misdelivered, cksum, retx =
           run_region ~region ~ber:1e-4
         in
+        json_regions :=
+          Util.J.Obj
+            [
+              ("region", Util.J.String label);
+              ("completed", Util.J.Int ok);
+              ("failed", Util.J.Int fail);
+              ("corrupted", Util.J.Int corrupted);
+              ("router_malformed", Util.J.Int malformed);
+              ("host_rejected", Util.J.Int misdelivered);
+              ("vmtp_checksum", Util.J.Int cksum);
+              ("retransmits", Util.J.Int retx);
+            ]
+          :: !json_regions;
         [
           label; Util.i ok; Util.i fail; Util.i corrupted; Util.i malformed;
           Util.i misdelivered; Util.i cksum; Util.i retx;
@@ -262,4 +306,14 @@ let run () =
   pf "\npaper check: each damage class is absorbed by its own layer — headers\n";
   pf "die at the router scoreboard, damaged trailers are refused by the\n";
   pf "receiving host (never a bogus return route), payload damage reaches the\n";
-  pf "transport checksum; all of it is repaired by VMTP retransmission.\n"
+  pf "transport checksum; all of it is repaired by VMTP retransmission.\n";
+  Util.write_json ~exp:"e18"
+    (Util.J.Obj
+       [
+         ("experiment", Util.J.String "e18");
+         ("description", Util.J.String "fault matrix: corruption, flapping, crashes");
+         ("horizon_s", Util.J.Float (Sim.Time.to_seconds horizon));
+         ("crash_time_s", Util.J.Float (Sim.Time.to_seconds crash_time));
+         ("matrix", Util.J.List (List.rev !json_cells));
+         ("regions", Util.J.List (List.rev !json_regions));
+       ])

@@ -5,7 +5,13 @@
      dune exec bench/main.exe            # all experiments
      dune exec bench/main.exe e2 e7      # a subset
      dune exec bench/main.exe -- --micro # bechamel micro-benchmarks only
-     dune exec bench/main.exe -- --list  # experiment ids *)
+     dune exec bench/main.exe -- --list  # experiment ids
+
+   Modes (combine freely with experiment ids):
+
+     --smoke   shrunk parameter grids for CI-speed runs
+     --json    wired experiments (e2, e6, e18, e19) also write
+               BENCH_<exp>.json with machine-readable results *)
 
 let experiments =
   [
@@ -27,12 +33,15 @@ let experiments =
     ("e16", "ablation: blocked-packet handling", E16_blocked_ablation.run);
     ("e17", "ablation: directory-client caching", E17_directory_cache.run);
     ("e18", "fault matrix: corruption, flapping, crashes", E18_fault_matrix.run);
+    ("e19", "telemetry: hop-latency breakdown and overhead", E19_telemetry.run);
   ]
 
 let list_experiments () =
   Printf.printf "experiments:\n";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) experiments;
-  Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks"
+  Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks";
+  Printf.printf "  %-4s %s\n" "--smoke" "shrunk parameter grids (CI)";
+  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e18 e19)"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -44,10 +53,24 @@ let run_one id =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-    List.iter (fun (_, _, f) -> f ()) experiments;
-    Micro.run ()
-  | [ "--list" ] -> list_experiments ()
-  | [ "--micro" ] -> Micro.run ()
-  | ids -> List.iter run_one ids
+  let flags, ids =
+    List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args
+  in
+  List.iter
+    (function
+      | "--smoke" -> Util.smoke_mode := true
+      | "--json" -> Util.json_mode := true
+      | "--list" | "--micro" -> ()
+      | f ->
+        Printf.eprintf "unknown flag %S\n" f;
+        list_experiments ();
+        exit 1)
+    flags;
+  if List.mem "--list" flags then list_experiments ()
+  else if List.mem "--micro" flags then Micro.run ()
+  else
+    match ids with
+    | [] ->
+      List.iter (fun (_, _, f) -> f ()) experiments;
+      if not !Util.smoke_mode then Micro.run ()
+    | ids -> List.iter run_one ids

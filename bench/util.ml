@@ -3,8 +3,28 @@
 
 module G = Topo.Graph
 module W = Netsim.World
+module J = Telemetry.Export.Json
 
 let pf = Printf.printf
+
+(* Harness modes, set by Main before any experiment runs. [--smoke] asks
+   experiments for a shrunk parameter grid (CI-friendly runtimes);
+   [--json] makes wired experiments dump machine-readable results next to
+   their tables. *)
+let smoke_mode = ref false
+let json_mode = ref false
+
+let scaled ~full ~smoke = if !smoke_mode then smoke else full
+
+let write_json ~exp (doc : J.t) =
+  if !json_mode then begin
+    let file = Printf.sprintf "BENCH_%s.json" exp in
+    let oc = open_out file in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    pf "[--json] wrote %s\n" file
+  end
 
 let heading title =
   pf "\n%s\n%s\n" title (String.make (String.length title) '=')

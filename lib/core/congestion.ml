@@ -1,5 +1,6 @@
 module G = Topo.Graph
 module W = Netsim.World
+module C = Telemetry.Registry.Counter
 
 type config = {
   check_interval : Sim.Time.t;
@@ -43,11 +44,16 @@ type t = {
   known_out_ports : (int, unit) Hashtbl.t;
   mutable started : bool;
   mutable tick_armed : bool;
-  mutable ctl_sent : int;
-  mutable ctl_received : int;
+  ctl_sent : C.t;
+  ctl_received : C.t;
 }
 
 let create world ~node config =
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics world) ?help
+      ~labels:[ ("node", string_of_int node) ]
+      ("congestion_" ^ name)
+  in
   {
     world;
     node;
@@ -57,8 +63,8 @@ let create world ~node config =
     known_out_ports = Hashtbl.create 8;
     started = false;
     tick_armed = false;
-    ctl_sent = 0;
-    ctl_received = 0;
+    ctl_sent = cnt "ctl_sent" ~help:"rate-control frames sent to feeders";
+    ctl_received = cnt "ctl_received";
   }
 
 (* --- token-bucket limiters --- *)
@@ -156,7 +162,7 @@ let signal_feeders t out_port =
             ~meta:(Rate_ctl { congested_port = out_port; rate_bps = rate })
             (Bytes.create t.config.ctl_frame_bytes)
         in
-        t.ctl_sent <- t.ctl_sent + 1;
+        C.incr t.ctl_sent;
         ignore (W.send t.world ~node:t.node ~port:in_port frame))
       feeders
 
@@ -178,7 +184,13 @@ let ramp_and_expire t =
         end)
       t.limiters []
   in
-  List.iter (Hashtbl.remove t.limiters) stale
+  List.iter
+    (fun ((in_port, congested_port) as key) ->
+      Telemetry.Events.emit (W.events t.world) ~time:now
+        (Telemetry.Events.Backpressure_off
+           { node = t.node; in_port; congested_port });
+      Hashtbl.remove t.limiters key)
+    stale
 
 let monitor t =
   ramp_and_expire t;
@@ -221,7 +233,7 @@ let note_arrival t ~in_port ~out_port =
   ensure_tick t
 
 let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
-  t.ctl_received <- t.ctl_received + 1;
+  C.incr t.ctl_received;
   let key = (arrival_port, congested_port) in
   let now = W.now t.world in
   (match Hashtbl.find_opt t.limiters key with
@@ -229,6 +241,9 @@ let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
     lim.rate_bps <- rate_bps;
     lim.last_signal <- now
   | None ->
+    Telemetry.Events.emit (W.events t.world) ~time:now
+      (Telemetry.Events.Backpressure_on
+         { node = t.node; in_port = arrival_port; congested_port; rate_bps });
     Hashtbl.replace t.limiters key
       {
         rate_bps;
@@ -268,5 +283,5 @@ let backlog t =
   Hashtbl.fold (fun _ lim acc -> acc + Queue.length lim.pending) t.limiters 0
 
 let limiters t = Hashtbl.length t.limiters
-let ctl_sent t = t.ctl_sent
-let ctl_received t = t.ctl_received
+let ctl_sent t = C.value t.ctl_sent
+let ctl_received t = C.value t.ctl_received

@@ -2,6 +2,8 @@ module G = Topo.Graph
 module W = Netsim.World
 module Seg = Viper.Segment
 module Pkt = Viper.Packet
+module C = Telemetry.Registry.Counter
+module Flight = Telemetry.Flight
 
 type t = {
   world : W.t;
@@ -11,17 +13,22 @@ type t = {
          pacing their own injection (§2.2: the control "builds up back from
          the point of congestion to the sources") *)
   mutable on_receive : (t -> packet:Pkt.t -> in_port:G.port -> unit) option;
-  mutable received : int;
-  mutable misdelivered : int;
+  received : C.t;
+  misdelivered : C.t;
   mutable rate_signal : (Sim.Time.t * float) option;
 }
 
 let node t = t.node
 let world t = t.world
 let set_receive t f = t.on_receive <- Some f
-let received t = t.received
-let misdelivered t = t.misdelivered
+let received t = C.value t.received
+let misdelivered t = C.value t.misdelivered
 let rate_signal t = t.rate_signal
+
+let flight_drop t ~frame ~in_port ~reason =
+  match frame.Netsim.Frame.flight with
+  | Some ctx -> Flight.drop ctx ~node:t.node ~in_port ~now:(W.now t.world) ~reason
+  | None -> ()
 
 let handle t _world ~in_port ~frame ~head:_ ~tail =
   match frame.Netsim.Frame.meta with
@@ -34,19 +41,28 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
     ignore
       (Sim.Engine.schedule_at (W.engine t.world) ~time:(max (W.now t.world) tail)
          (fun () ->
-           if frame.Netsim.Frame.aborted then ()
+           if frame.Netsim.Frame.aborted then
+             flight_drop t ~frame ~in_port ~reason:"aborted"
            else
            match Pkt.parse frame.Netsim.Frame.payload with
-           | Error _ -> t.misdelivered <- t.misdelivered + 1
+           | Error _ ->
+             C.incr t.misdelivered;
+             flight_drop t ~frame ~in_port ~reason:"misdelivered"
            | Ok packet ->
              let final_is_local =
                match packet.Pkt.route with
                | [ seg ] -> seg.Seg.port = Seg.local_port
                | _ -> false
              in
-             if not final_is_local then t.misdelivered <- t.misdelivered + 1
+             if not final_is_local then begin
+               C.incr t.misdelivered;
+               flight_drop t ~frame ~in_port ~reason:"misdelivered"
+             end
              else begin
-               t.received <- t.received + 1;
+               C.incr t.received;
+               (match frame.Netsim.Frame.flight with
+               | Some ctx -> Flight.complete ctx ~now:(W.now t.world)
+               | None -> ());
                match t.on_receive with
                | Some f -> f t ~packet ~in_port
                | None -> ()
@@ -54,14 +70,19 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
 
 let create world ~node =
   let limiter = Congestion.create world ~node Congestion.default_config in
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics world) ?help
+      ~labels:[ ("node", string_of_int node) ]
+      ("host_" ^ name)
+  in
   let t =
     {
       world;
       node;
       limiter;
       on_receive = None;
-      received = 0;
-      misdelivered = 0;
+      received = cnt "received" ~help:"packets delivered to this host";
+      misdelivered = cnt "misdelivered" ~help:"arrivals whose route did not terminate here";
       rate_signal = None;
     }
   in
@@ -85,10 +106,15 @@ let send t ~route ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
   let next_port =
     match segments with seg :: _ -> Some seg.Seg.port | [] -> None
   in
+  (* the flight context is allocated where the packet enters the
+     internetwork, before any limiter hold *)
+  let flight = Flight.start (W.flight t.world) ~now:(W.now t.world) in
   let result = ref None in
   Congestion.submit t.limiter ~out_port:route.Route.first_port ~next_port
     ~bytes:(Bytes.length payload) ~send:(fun () ->
-      let frame = W.fresh_frame t.world ~priority ~drop_if_blocked payload in
+      let frame =
+        W.fresh_frame t.world ~priority ~drop_if_blocked ?flight payload
+      in
       result := Some (W.send t.world ~node:t.node ~port:route.Route.first_port frame));
   (* a held packet is queued in the host's own limiter *)
   match !result with Some r -> r | None -> W.Queued
@@ -98,7 +124,8 @@ let reply t ~to_packet ~in_port ?(priority = Token.Priority.normal) ~data () =
   let local = Seg.make ~priority ~port:Seg.local_port () in
   let segments = back @ [ local ] in
   let payload = Pkt.build ~route:segments ~data in
-  let frame = W.fresh_frame t.world ~priority payload in
+  let flight = Flight.start (W.flight t.world) ~now:(W.now t.world) in
+  let frame = W.fresh_frame t.world ~priority ?flight payload in
   W.send t.world ~node:t.node ~port:in_port frame
 
 let explode t ~routes ?(priority = Token.Priority.normal) ~data () =

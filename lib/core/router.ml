@@ -2,6 +2,8 @@ module G = Topo.Graph
 module W = Netsim.World
 module Seg = Viper.Segment
 module Pkt = Viper.Packet
+module C = Telemetry.Registry.Counter
+module Flight = Telemetry.Flight
 
 type blocked_handling =
   | Buffer
@@ -48,6 +50,9 @@ type stats = {
   delay_line_circuits : int;  (** re-circulations of blocked packets *)
 }
 
+(* The per-router scoreboard lives on the world's telemetry registry
+   (router_* counters labeled by node); [stats] below is a thin snapshot
+   view so existing callers keep working unchanged. *)
 type t = {
   world : W.t;
   node : G.node_id;
@@ -62,21 +67,21 @@ type t = {
   mutable on_local : (packet:Pkt.t -> in_port:G.port -> unit) option;
   mutable up : bool;
   mutable epoch : int;  (** bumped on crash: pending deferred work dies with it *)
-  mutable forwarded : int;
-  mutable delivered_local : int;
-  mutable parse_errors : int;
-  mutable dropped_malformed : int;
-  mutable dropped_down : int;
-  mutable crashes : int;
-  mutable unauthorized : int;
-  mutable deferred : int;
-  mutable truncated : int;
-  mutable multicast_copies : int;
-  mutable spliced : int;
-  mutable send_drops : int;
-  mutable cut_throughs : int;
-  mutable stored_forwards : int;
-  mutable delay_line_circuits : int;
+  forwarded : C.t;
+  delivered_local : C.t;
+  parse_errors : C.t;
+  dropped_malformed : C.t;
+  dropped_down : C.t;
+  crashes : C.t;
+  unauthorized : C.t;
+  deferred : C.t;
+  truncated : C.t;
+  multicast_copies : C.t;
+  spliced : C.t;
+  send_drops : C.t;
+  cut_throughs : C.t;
+  stored_forwards : C.t;
+  delay_line_circuits : C.t;
 }
 
 let node t = t.node
@@ -85,23 +90,23 @@ let ledger t = t.ledger
 let logical t = t.logical
 let congestion t = t.congestion
 
-let stats t =
+let stats t : stats =
   {
-    forwarded = t.forwarded;
-    delivered_local = t.delivered_local;
-    parse_errors = t.parse_errors;
-    dropped_malformed = t.dropped_malformed;
-    dropped_down = t.dropped_down;
-    crashes = t.crashes;
-    unauthorized = t.unauthorized;
-    deferred = t.deferred;
-    truncated = t.truncated;
-    multicast_copies = t.multicast_copies;
-    spliced = t.spliced;
-    send_drops = t.send_drops;
-    cut_throughs = t.cut_throughs;
-    stored_forwards = t.stored_forwards;
-    delay_line_circuits = t.delay_line_circuits;
+    forwarded = C.value t.forwarded;
+    delivered_local = C.value t.delivered_local;
+    parse_errors = C.value t.parse_errors;
+    dropped_malformed = C.value t.dropped_malformed;
+    dropped_down = C.value t.dropped_down;
+    crashes = C.value t.crashes;
+    unauthorized = C.value t.unauthorized;
+    deferred = C.value t.deferred;
+    truncated = C.value t.truncated;
+    multicast_copies = C.value t.multicast_copies;
+    spliced = C.value t.spliced;
+    send_drops = C.value t.send_drops;
+    cut_throughs = C.value t.cut_throughs;
+    stored_forwards = C.value t.stored_forwards;
+    delay_line_circuits = C.value t.delay_line_circuits;
   }
 
 let set_port_group t ~port ~ports =
@@ -112,6 +117,19 @@ let set_port_group t ~port ~ports =
 let set_local_delivery t f = t.on_local <- Some f
 
 let now t = W.now t.world
+
+(* Terminate a frame's flight trace with the same reason the scoreboard
+   counter records, so a sampled drop is never invisible. *)
+let flight_drop t ~frame ~in_port ~reason =
+  match frame.Netsim.Frame.flight with
+  | Some ctx -> Flight.drop ctx ~node:t.node ~in_port ~now:(now t) ~reason
+  | None -> ()
+
+let flight_note t ~frame check =
+  ignore t;
+  match frame.Netsim.Frame.flight with
+  | Some ctx -> Flight.note_token ctx check
+  | None -> ()
 
 (* Clamp to the present: deferred work (e.g. token verification) can leave a
    cut-through act time in the past. Work deferred before a crash must not
@@ -188,15 +206,16 @@ let act_time t ~in_port ~out_port ~head ~tail ~header_size =
   end
   else (`Store, tail + t.config.process_time)
 
-let count_send_result t result =
+let count_send_result t ~frame ~in_port result =
   match result with
-  | W.Started | W.Started_preempting _ | W.Queued -> t.forwarded <- t.forwarded + 1
+  | W.Started | W.Started_preempting _ | W.Queued -> C.incr t.forwarded
   | W.Dropped_blocked | W.Dropped_overflow | W.Dropped_no_link ->
-    t.send_drops <- t.send_drops + 1
+    C.incr t.send_drops;
+    flight_drop t ~frame ~in_port ~reason:"send_drop"
 
 (* Transmit [payload] out [out_port] at [when_], honoring any congestion
    limiter for its (out_port, next segment port) queue. *)
-let dispatch t ~seg ~frame ~out_port ~payload ~when_ =
+let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
   let next_port =
     match Pkt.peek_ports payload with
     | _, second -> second
@@ -205,35 +224,43 @@ let dispatch t ~seg ~frame ~out_port ~payload ~when_ =
   let send () =
     match t.config.blocked with
     | Buffer ->
-      let frame =
+      let out_frame =
         W.fresh_frame t.world ~priority:seg.Seg.priority
-          ~drop_if_blocked:seg.Seg.flags.Seg.dib payload
+          ~drop_if_blocked:seg.Seg.flags.Seg.dib
+          ?flight:frame.Netsim.Frame.flight payload
       in
-      count_send_result t (W.send t.world ~node:t.node ~port:out_port frame)
+      count_send_result t ~frame ~in_port
+        (W.send t.world ~node:t.node ~port:out_port out_frame)
     | Delay_line { delay; max_circuits } ->
       (* Â§2.1: a bufferless (Blazenet-style) switch re-circulates a
          blocked packet through a delay line instead of queueing it *)
       let rec attempt circuits =
-        let frame =
+        let out_frame =
           W.fresh_frame t.world ~priority:seg.Seg.priority ~drop_if_blocked:true
-            payload
+            ?flight:frame.Netsim.Frame.flight payload
         in
-        match W.send t.world ~node:t.node ~port:out_port frame with
-        | W.Started | W.Started_preempting _ | W.Queued ->
-          t.forwarded <- t.forwarded + 1
+        match W.send t.world ~node:t.node ~port:out_port out_frame with
+        | W.Started | W.Started_preempting _ | W.Queued -> C.incr t.forwarded
         | W.Dropped_blocked ->
           if circuits < max_circuits && not seg.Seg.flags.Seg.dib then begin
-            t.delay_line_circuits <- t.delay_line_circuits + 1;
+            C.incr t.delay_line_circuits;
             schedule t ~time:(now t + delay) (fun () -> attempt (circuits + 1))
           end
-          else t.send_drops <- t.send_drops + 1
+          else begin
+            C.incr t.send_drops;
+            flight_drop t ~frame ~in_port ~reason:"send_drop"
+          end
         | W.Dropped_overflow | W.Dropped_no_link ->
-          t.send_drops <- t.send_drops + 1
+          C.incr t.send_drops;
+          flight_drop t ~frame ~in_port ~reason:"send_drop"
       in
       attempt 0
   in
   schedule t ~time:when_ (fun () ->
-      if frame.Netsim.Frame.aborted then t.send_drops <- t.send_drops + 1
+      if frame.Netsim.Frame.aborted then begin
+        C.incr t.send_drops;
+        flight_drop t ~frame ~in_port ~reason:"aborted"
+      end
       else
         match t.congestion with
         | None -> send ()
@@ -248,35 +275,55 @@ let forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail ~hea
   match Viper.Trailer.append_hop rest return_seg with
   | exception (Invalid_argument _ | Failure _ | Wire.Buf.Underflow | Wire.Buf.Overflow)
     ->
-    t.dropped_malformed <- t.dropped_malformed + 1
+    C.incr t.dropped_malformed;
+    flight_drop t ~frame ~in_port ~reason:"malformed"
   | forwarded ->
     let forwarded =
       match link_mtu t out_port with
       | Some mtu when Bytes.length forwarded > mtu ->
-        t.truncated <- t.truncated + 1;
+        C.incr t.truncated;
         Pkt.truncate_to forwarded ~max:(mtu - 4)
       | Some _ | None -> forwarded
     in
     let mode, when_ = act_time t ~in_port ~out_port ~head ~tail ~header_size in
-    (match mode with
-    | `Cut -> t.cut_throughs <- t.cut_throughs + 1
-    | `Store -> t.stored_forwards <- t.stored_forwards + 1);
+    let handling =
+      match mode with
+      | `Cut ->
+        C.incr t.cut_throughs;
+        Flight.Cut_through
+      | `Store ->
+        C.incr t.stored_forwards;
+        Flight.Store_forward
+    in
+    (match frame.Netsim.Frame.flight with
+    | Some ctx ->
+      Flight.hop ctx ~node:t.node ~in_port ~out_port ~arrival:head
+        ~departure:when_ ~handling
+    | None -> ());
     (match t.congestion with
     | Some c -> Congestion.note_arrival c ~in_port ~out_port
     | None -> ());
-    dispatch t ~seg ~frame ~out_port ~payload:forwarded ~when_
+    dispatch t ~seg ~frame ~in_port ~out_port ~payload:forwarded ~when_
 
 (* Token checking; calls [proceed ~grant] when the packet may be switched.
    A reverse-path packet (RPF flag) is checked against its arrival port:
    that is the port its token originally named, and reverse_ok in the grant
    decides admission (§2.2's reverse-route authorization). *)
-let with_authorization t ~seg ~in_port ~out_port ~packet_bytes ~proceed =
+let with_authorization t ~seg ~frame ~in_port ~out_port ~packet_bytes ~proceed =
   let reverse = seg.Seg.flags.Seg.rpf in
   let auth_port = if reverse then in_port else out_port in
   let now_ms = now t / 1_000_000 in
+  let reject () =
+    C.incr t.unauthorized;
+    flight_note t ~frame Flight.Denied;
+    flight_drop t ~frame ~in_port ~reason:"unauthorized"
+  in
   if Bytes.length seg.Seg.token = 0 then begin
-    if t.config.require_tokens then t.unauthorized <- t.unauthorized + 1
-    else proceed ~grant:None
+    if t.config.require_tokens then reject ()
+    else begin
+      flight_note t ~frame Flight.No_token;
+      proceed ~grant:None
+    end
   end
   else begin
     let verdict =
@@ -284,8 +331,10 @@ let with_authorization t ~seg ~in_port ~out_port ~packet_bytes ~proceed =
         ~priority:seg.Seg.priority ~now_ms ~packet_bytes ~reverse
     in
     match verdict with
-    | Token.Cache.Admit g -> proceed ~grant:(Some g)
-    | Token.Cache.Deny -> t.unauthorized <- t.unauthorized + 1
+    | Token.Cache.Admit g ->
+      flight_note t ~frame Flight.Cache_hit;
+      proceed ~grant:(Some g)
+    | Token.Cache.Deny -> reject ()
     | Token.Cache.Miss_admit ->
       (* Optimistic: forward now, decrypt in the background so subsequent
          packets hit the cache. *)
@@ -295,11 +344,12 @@ let with_authorization t ~seg ~in_port ~out_port ~packet_bytes ~proceed =
           ignore
             (Token.Cache.complete_verification t.cache ~token:seg.Seg.token
                ~now_ms:(now t / 1_000_000)));
+      flight_note t ~frame Flight.Cache_miss;
       proceed ~grant:None
     | Token.Cache.Defer ->
       (* Blocking authentication: hold the packet while the token is
          decrypted, then re-check. *)
-      t.deferred <- t.deferred + 1;
+      C.incr t.deferred;
       schedule t
         ~time:(now t + t.config.verify_time)
         (fun () ->
@@ -310,16 +360,18 @@ let with_authorization t ~seg ~in_port ~out_port ~packet_bytes ~proceed =
               Token.Cache.check t.cache ~token:seg.Seg.token ~port:auth_port
                 ~priority:seg.Seg.priority ~now_ms ~packet_bytes ~reverse
             with
-            | Token.Cache.Admit g -> proceed ~grant:(Some g)
+            | Token.Cache.Admit g ->
+              flight_note t ~frame Flight.Cache_miss;
+              proceed ~grant:(Some g)
             | Token.Cache.Deny | Token.Cache.Defer | Token.Cache.Miss_admit
             | Token.Cache.Miss_drop ->
-              t.unauthorized <- t.unauthorized + 1
+              reject ()
           end
-          else t.unauthorized <- t.unauthorized + 1)
+          else reject ())
     | Token.Cache.Miss_drop ->
       (* dropped, but "in any case, the new token is decrypted, checked and
          cached to prepare for subsequent packets" *)
-      t.unauthorized <- t.unauthorized + 1;
+      reject ();
       schedule t
         ~time:(now t + t.config.verify_time)
         (fun () ->
@@ -340,13 +392,17 @@ let prepend_segments segments rest =
   Wire.Buf.contents w
 
 let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
-  if depth > 4 then t.parse_errors <- t.parse_errors + 1
+  if depth > 4 then begin
+    C.incr t.parse_errors;
+    flight_drop t ~frame ~in_port ~reason:"parse_error"
+  end
   else
     match Pkt.parse_leading payload with
     | Error _ ->
       (* A frame damaged in flight (or truncated by preemption) must become
          a counted drop, never an exception out of the frame handler. *)
-      t.dropped_malformed <- t.dropped_malformed + 1
+      C.incr t.dropped_malformed;
+      flight_drop t ~frame ~in_port ~reason:"malformed"
     | Ok (seg, rest) ->
       let header_size = Seg.encoded_size seg in
       if seg.Seg.port = Seg.local_port then
@@ -363,12 +419,12 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
         match Logical.lookup t.logical ~port:seg.Seg.port with
         | Some (Logical.Group physical) ->
           let best = choose_least_queued t physical in
-          with_authorization t ~seg ~in_port ~out_port:seg.Seg.port
+          with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
             ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
               forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port:best
                 ~head ~tail ~header_size ~grant)
         | Some (Logical.Splice expansion) ->
-          t.spliced <- t.spliced + 1;
+          C.incr t.spliced;
           let vnt_tail = seg.Seg.flags.Seg.vnt in
           let expansion = normalize_expansion expansion ~vnt_tail in
           let payload' = prepend_segments expansion rest in
@@ -385,10 +441,12 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
             | Some ports ->
               multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail
                 ~header_size ~ports
-            | None -> t.parse_errors <- t.parse_errors + 1
+            | None ->
+              C.incr t.parse_errors;
+              flight_drop t ~frame ~in_port ~reason:"parse_error"
           end
           else
-            with_authorization t ~seg ~in_port ~out_port:seg.Seg.port
+            with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
               ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
                 forward_one t ~seg ~frame ~rest ~in_port ~in_info
                   ~out_port:seg.Seg.port ~head ~tail ~header_size ~grant)
@@ -418,18 +476,20 @@ and multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~header_size
     ~ports =
   List.iter
     (fun out_port ->
-      t.multicast_copies <- t.multicast_copies + 1;
+      C.incr t.multicast_copies;
       forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail
         ~header_size ~grant:None)
     ports
 
 and tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth =
   match Viper.Multicast.decode_branches seg.Seg.info with
-  | exception _ -> t.dropped_malformed <- t.dropped_malformed + 1
+  | exception _ ->
+    C.incr t.dropped_malformed;
+    flight_drop t ~frame ~in_port ~reason:"malformed"
   | branches ->
     List.iter
       (fun branch ->
-        t.multicast_copies <- t.multicast_copies + 1;
+        C.incr t.multicast_copies;
         let payload' = prepend_segments branch rest in
         process t ~frame ~payload:payload' ~in_port ~in_info ~head ~tail
           ~depth:(depth + 1))
@@ -439,18 +499,30 @@ and deliver_local t ~frame ~payload ~in_port ~tail =
   schedule t
     ~time:(max (now t) tail + t.config.process_time)
     (fun () ->
-      if frame.Netsim.Frame.aborted then ()
+      if frame.Netsim.Frame.aborted then
+        flight_drop t ~frame ~in_port ~reason:"aborted"
       else
       match Pkt.parse payload with
-      | Error _ -> t.dropped_malformed <- t.dropped_malformed + 1
+      | Error _ ->
+        C.incr t.dropped_malformed;
+        flight_drop t ~frame ~in_port ~reason:"malformed"
       | Ok packet -> (
-        t.delivered_local <- t.delivered_local + 1;
+        C.incr t.delivered_local;
+        (match frame.Netsim.Frame.flight with
+        | Some ctx ->
+          Flight.hop ctx ~node:t.node ~in_port ~out_port:(-1) ~arrival:tail
+            ~departure:(now t) ~handling:Flight.Local_delivery;
+          Flight.complete ctx ~now:(now t)
+        | None -> ());
         match t.on_local with
         | Some f -> f ~packet ~in_port
         | None -> ()))
 
 let handle t _world ~in_port ~frame ~head ~tail =
-  if not t.up then t.dropped_down <- t.dropped_down + 1
+  if not t.up then begin
+    C.incr t.dropped_down;
+    flight_drop t ~frame ~in_port ~reason:"down"
+  end
   else
     match frame.Netsim.Frame.meta with
     | Some (Congestion.Rate_ctl { congested_port; rate_bps }) -> (
@@ -469,6 +541,11 @@ let create ?(config = default_config) ?key world ~node () =
   let congestion =
     Option.map (fun c -> Congestion.create world ~node c) config.congestion
   in
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics world) ?help
+      ~labels:[ ("node", string_of_int node) ]
+      ("router_" ^ name)
+  in
   let t =
     {
       world;
@@ -484,21 +561,21 @@ let create ?(config = default_config) ?key world ~node () =
       on_local = None;
       up = true;
       epoch = 0;
-      forwarded = 0;
-      delivered_local = 0;
-      parse_errors = 0;
-      dropped_malformed = 0;
-      dropped_down = 0;
-      crashes = 0;
-      unauthorized = 0;
-      deferred = 0;
-      truncated = 0;
-      multicast_copies = 0;
-      spliced = 0;
-      send_drops = 0;
-      cut_throughs = 0;
-      stored_forwards = 0;
-      delay_line_circuits = 0;
+      forwarded = cnt "forwarded" ~help:"packets handed to an output port";
+      delivered_local = cnt "delivered_local";
+      parse_errors = cnt "parse_errors";
+      dropped_malformed = cnt "dropped_malformed";
+      dropped_down = cnt "dropped_down" ~help:"frames arriving while crashed";
+      crashes = cnt "crashes";
+      unauthorized = cnt "unauthorized" ~help:"token check rejections";
+      deferred = cnt "deferred" ~help:"packets held for blocking token verification";
+      truncated = cnt "truncated";
+      multicast_copies = cnt "multicast_copies";
+      spliced = cnt "spliced";
+      send_drops = cnt "send_drops" ~help:"drops at the output port after switching";
+      cut_throughs = cnt "cut_throughs";
+      stored_forwards = cnt "stored_forwards";
+      delay_line_circuits = cnt "delay_line_circuits";
     }
   in
   W.set_handler world node (handle t);
@@ -511,9 +588,16 @@ let set_port_handler t ~port f =
   Hashtbl.replace t.port_handlers port f
 
 let inject t ~payload ~in_port ~return_info =
-  if not t.up then t.dropped_down <- t.dropped_down + 1
+  if not t.up then C.incr t.dropped_down
   else begin
-    let frame = W.fresh_frame t.world payload in
+    let flight = Flight.start (W.flight t.world) ~now:(now t) in
+    (match flight with
+    | Some ctx ->
+      (* out-of-band arrival: the injection itself is the first span *)
+      Flight.hop ctx ~node:t.node ~in_port ~out_port:(-1) ~arrival:(now t)
+        ~departure:(now t) ~handling:Flight.Injected
+    | None -> ());
+    let frame = W.fresh_frame t.world ?flight payload in
     process t ~frame ~payload ~in_port ~in_info:(Some return_info)
       ~head:(now t) ~tail:(now t) ~depth:0
   end
@@ -526,11 +610,18 @@ let crash t =
   if t.up then begin
     t.up <- false;
     t.epoch <- t.epoch + 1;
-    t.crashes <- t.crashes + 1;
-    ignore (W.purge_node t.world ~node:t.node);
+    C.incr t.crashes;
+    let lost = W.purge_node t.world ~node:t.node in
+    Telemetry.Events.emit (W.events t.world) ~time:(now t)
+      (Telemetry.Events.Router_crashed { node = t.node; frames_lost = lost });
     Token.Cache.flush t.cache;
     Option.iter (fun c -> ignore (Congestion.reset c)) t.congestion
   end
 
-let restart t = t.up <- true
+let restart t =
+  if not t.up then
+    Telemetry.Events.emit (W.events t.world) ~time:(now t)
+      (Telemetry.Events.Router_restarted { node = t.node });
+  t.up <- true
+
 let up t = t.up

@@ -1,4 +1,5 @@
 module G = Topo.Graph
+module C = Telemetry.Registry.Counter
 
 type selector = Lowest_delay | Highest_bandwidth | Lowest_cost | Secure
 
@@ -30,12 +31,24 @@ type t = {
       (** last fresh answer per query key — replayed while frozen *)
   mutable frozen : bool;
   mutable nonce : int;
-  mutable queries_served : int;
-  mutable tokens_minted : int;
-  mutable stale_served : int;
+  queries_served : C.t;
+  tokens_minted : C.t;
+  stale_served : C.t;
 }
 
-let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) graph =
+let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) ?telemetry
+    graph =
+  (* The directory is not a node in the simulated world, so it has no world
+     registry of its own; pass [telemetry] (e.g. [Netsim.World.metrics w])
+     to fold its counters into a simulation snapshot. *)
+  let registry =
+    match telemetry with
+    | Some r -> r
+    | None -> Telemetry.Registry.create ()
+  in
+  let cnt ?help name =
+    Telemetry.Registry.counter registry ?help ("dirsvc_" ^ name)
+  in
   {
     graph;
     per_level_rtt;
@@ -48,9 +61,9 @@ let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) graph =
     answers = Hashtbl.create 64;
     frozen = false;
     nonce = 0;
-    queries_served = 0;
-    tokens_minted = 0;
-    stale_served = 0;
+    queries_served = cnt "queries_served";
+    tokens_minted = cnt "tokens_minted";
+    stale_served = cnt "stale_served" ~help:"answers replayed from cache while frozen";
   }
 
 let register t ~name ~node =
@@ -130,7 +143,7 @@ let mint_tokens t ~client ~priority hops =
       (fun { G.at; out } ->
         let key = Token.Cipher.random_looking_key at in
         t.nonce <- (t.nonce + 1) land 0xFF;
-        t.tokens_minted <- t.tokens_minted + 1;
+        C.incr t.tokens_minted;
         let grant =
           {
             Token.Capability.router_id = at;
@@ -156,18 +169,18 @@ let selector_tag = function
 
 let set_frozen t frozen = t.frozen <- frozen
 let frozen t = t.frozen
-let stale_served t = t.stale_served
+let stale_served t = C.value t.stale_served
 
 let query t ~client ~target ?(selector = Lowest_delay) ?(k = 2)
     ?(priority = Token.Priority.highest) () =
-  t.queries_served <- t.queries_served + 1;
+  C.incr t.queries_served;
   let key =
     Printf.sprintf "%d|%s|%s|%d" client (Name.to_string target)
       (selector_tag selector) k
   in
   match (if t.frozen then Hashtbl.find_opt t.answers key else None) with
   | Some stale ->
-    t.stale_served <- t.stale_served + 1;
+    C.incr t.stale_served;
     stale
   | None ->
   match lookup_name t target with
@@ -207,5 +220,5 @@ let query_latency t ~client ~target =
   in
   levels * t.per_level_rtt
 
-let queries_served t = t.queries_served
-let tokens_minted t = t.tokens_minted
+let queries_served t = C.value t.queries_served
+let tokens_minted t = C.value t.tokens_minted

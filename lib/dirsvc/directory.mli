@@ -41,10 +41,13 @@ type route_info = {
 type t
 
 val create :
-  ?per_level_rtt:Sim.Time.t -> ?token_expiry_ms:int -> Topo.Graph.t -> t
+  ?per_level_rtt:Sim.Time.t -> ?token_expiry_ms:int ->
+  ?telemetry:Telemetry.Registry.t -> Topo.Graph.t -> t
 (** [per_level_rtt] (default 2 ms) prices each hierarchy level a
     resolution walks. [token_expiry_ms] 0 (default) mints non-expiring
-    tokens. *)
+    tokens. [telemetry] registers the [dirsvc_*] counters on an existing
+    registry (e.g. {!Netsim.World.metrics}) so one export covers the
+    whole simulation; by default they live on a private registry. *)
 
 val register : t -> name:Name.t -> node:Topo.Graph.node_id -> unit
 val lookup_name : t -> Name.t -> Topo.Graph.node_id option

@@ -1,6 +1,7 @@
 module G = Topo.Graph
 module W = Netsim.World
 module Router = Sirpent.Router
+module C = Telemetry.Registry.Counter
 
 type stats = {
   mutable links_failed : int;
@@ -15,45 +16,74 @@ type stats = {
   mutable directory_freezes : int;
 }
 
+(* The live scoreboard is a set of faults_* counters on the world's
+   telemetry registry; [stats] returns a snapshot record. *)
+type counters = {
+  c_links_failed : C.t;
+  c_links_restored : C.t;
+  c_crashes : C.t;
+  c_restarts : C.t;
+  c_frames_corrupted : C.t;
+  c_bits_flipped : C.t;
+  c_header_corruptions : C.t;
+  c_payload_corruptions : C.t;
+  c_trailer_corruptions : C.t;
+  c_directory_freezes : C.t;
+}
+
 type t = {
   world : W.t;
   rng : Sim.Rng.t;
-  stats : stats;
+  c : counters;
   corruption : (int, Corrupt.spec) Hashtbl.t;  (* keyed by link_id *)
 }
 
-let fresh_stats () =
+let stats t =
   {
-    links_failed = 0;
-    links_restored = 0;
-    crashes = 0;
-    restarts = 0;
-    frames_corrupted = 0;
-    bits_flipped = 0;
-    header_corruptions = 0;
-    payload_corruptions = 0;
-    trailer_corruptions = 0;
-    directory_freezes = 0;
+    links_failed = C.value t.c.c_links_failed;
+    links_restored = C.value t.c.c_links_restored;
+    crashes = C.value t.c.c_crashes;
+    restarts = C.value t.c.c_restarts;
+    frames_corrupted = C.value t.c.c_frames_corrupted;
+    bits_flipped = C.value t.c.c_bits_flipped;
+    header_corruptions = C.value t.c.c_header_corruptions;
+    payload_corruptions = C.value t.c.c_payload_corruptions;
+    trailer_corruptions = C.value t.c.c_trailer_corruptions;
+    directory_freezes = C.value t.c.c_directory_freezes;
   }
 
-let stats t = t.stats
 let world t = t.world
 
 let on_corrupted t (spec : Corrupt.spec) bits =
-  t.stats.frames_corrupted <- t.stats.frames_corrupted + 1;
-  t.stats.bits_flipped <- t.stats.bits_flipped + bits;
+  C.incr t.c.c_frames_corrupted;
+  C.add t.c.c_bits_flipped bits;
   match spec.Corrupt.region with
-  | Corrupt.Header -> t.stats.header_corruptions <- t.stats.header_corruptions + 1
-  | Corrupt.Payload -> t.stats.payload_corruptions <- t.stats.payload_corruptions + 1
-  | Corrupt.Trailer -> t.stats.trailer_corruptions <- t.stats.trailer_corruptions + 1
+  | Corrupt.Header -> C.incr t.c.c_header_corruptions
+  | Corrupt.Payload -> C.incr t.c.c_payload_corruptions
+  | Corrupt.Trailer -> C.incr t.c.c_trailer_corruptions
   | Corrupt.Any -> ()
 
 let create ?(seed = 0x51123E17L) world =
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics world) ?help ("faults_" ^ name)
+  in
   let t =
     {
       world;
       rng = Sim.Rng.create seed;
-      stats = fresh_stats ();
+      c =
+        {
+          c_links_failed = cnt "links_failed";
+          c_links_restored = cnt "links_restored";
+          c_crashes = cnt "crashes" ~help:"router crashes the injector triggered";
+          c_restarts = cnt "restarts";
+          c_frames_corrupted = cnt "frames_corrupted";
+          c_bits_flipped = cnt "bits_flipped";
+          c_header_corruptions = cnt "header_corruptions";
+          c_payload_corruptions = cnt "payload_corruptions";
+          c_trailer_corruptions = cnt "trailer_corruptions";
+          c_directory_freezes = cnt "directory_freezes";
+        };
       corruption = Hashtbl.create 8;
     }
   in
@@ -78,13 +108,13 @@ let engine t = W.engine t.world
 let do_fail t link =
   if G.link_alive (W.graph t.world) link then begin
     W.fail_link t.world link;
-    t.stats.links_failed <- t.stats.links_failed + 1
+    C.incr t.c.c_links_failed
   end
 
 let do_restore t link =
   if not (G.link_alive (W.graph t.world) link) then begin
     W.restore_link t.world link;
-    t.stats.links_restored <- t.stats.links_restored + 1
+    C.incr t.c.c_links_restored
   end
 
 let fail_link_at t ~at link =
@@ -121,7 +151,7 @@ let crash_router_at t ~at ?down_for router =
     (Sim.Engine.schedule_at eng ~time:at (fun () ->
          if Router.up router then begin
            Router.crash router;
-           t.stats.crashes <- t.stats.crashes + 1
+           C.incr t.c.c_crashes
          end;
          match down_for with
          | None -> ()
@@ -130,7 +160,7 @@ let crash_router_at t ~at ?down_for router =
              (Sim.Engine.schedule eng ~delay:d (fun () ->
                   if not (Router.up router) then begin
                     Router.restart router;
-                    t.stats.restarts <- t.stats.restarts + 1
+                    C.incr t.c.c_restarts
                   end))))
 
 let restart_router_at t ~at router =
@@ -138,7 +168,7 @@ let restart_router_at t ~at router =
     (Sim.Engine.schedule_at (engine t) ~time:at (fun () ->
          if not (Router.up router) then begin
            Router.restart router;
-           t.stats.restarts <- t.stats.restarts + 1
+           C.incr t.c.c_restarts
          end))
 
 let freeze_directory_at t ~at ?thaw_after dir =
@@ -146,10 +176,15 @@ let freeze_directory_at t ~at ?thaw_after dir =
   ignore
     (Sim.Engine.schedule_at eng ~time:at (fun () ->
          Dirsvc.Directory.set_frozen dir true;
-         t.stats.directory_freezes <- t.stats.directory_freezes + 1;
+         C.incr t.c.c_directory_freezes;
+         Telemetry.Events.emit (W.events t.world) ~time:(W.now t.world)
+           (Telemetry.Events.Directory_frozen { frozen = true });
          match thaw_after with
          | None -> ()
          | Some d ->
            ignore
              (Sim.Engine.schedule eng ~delay:d (fun () ->
-                  Dirsvc.Directory.set_frozen dir false))))
+                  Dirsvc.Directory.set_frozen dir false;
+                  Telemetry.Events.emit (W.events t.world)
+                    ~time:(W.now t.world)
+                    (Telemetry.Events.Directory_frozen { frozen = false })))))

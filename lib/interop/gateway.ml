@@ -1,6 +1,7 @@
 module G = Topo.Graph
 module W = Netsim.World
 module Seg = Viper.Segment
+module C = Telemetry.Registry.Counter
 
 let protocol_number = 94
 
@@ -28,21 +29,21 @@ type t = {
   router : Sirpent.Router.t;
   reassembly : Ipbase.Frag.Reassembly.t;
   mutable next_ident : int;
-  mutable encapsulated : int;
-  mutable decapsulated : int;
-  mutable bad_tunnel_info : int;
-  mutable ip_dropped : int;
+  encapsulated : C.t;
+  decapsulated : C.t;
+  bad_tunnel_info : C.t;
+  ip_dropped : C.t;
 }
 
 let router t = t.router
 let addr t = Ipbase.Header.addr_of_node t.node
 
-let stats t =
+let stats t : stats =
   {
-    encapsulated = t.encapsulated;
-    decapsulated = t.decapsulated;
-    bad_tunnel_info = t.bad_tunnel_info;
-    ip_dropped = t.ip_dropped;
+    encapsulated = C.value t.encapsulated;
+    decapsulated = C.value t.decapsulated;
+    bad_tunnel_info = C.value t.bad_tunnel_info;
+    ip_dropped = C.value t.ip_dropped;
   }
 
 let parse_tunnel_info info =
@@ -53,7 +54,7 @@ let parse_tunnel_info info =
    remote gateway, fragmenting to the cloud link's MTU at origin. *)
 let encapsulate t ~seg ~rest ~in_port =
   match parse_tunnel_info seg.Seg.info with
-  | None -> t.bad_tunnel_info <- t.bad_tunnel_info + 1
+  | None -> C.incr t.bad_tunnel_info
   | Some remote_addr ->
     (* the return entry for this hop: back out the Sirpent-side arrival
        port (point-to-point; no network-specific info) *)
@@ -65,7 +66,7 @@ let encapsulate t ~seg ~rest ~in_port =
     match Viper.Trailer.append_hop rest return_seg with
     | exception (Invalid_argument _ | Failure _) ->
       (* trailer damaged in flight: count, don't raise out of the handler *)
-      t.bad_tunnel_info <- t.bad_tunnel_info + 1
+      C.incr t.bad_tunnel_info
     | viper_bytes ->
     t.next_ident <- (t.next_ident + 1) land 0xFFFF;
     let header =
@@ -89,9 +90,9 @@ let encapsulate t ~seg ~rest ~in_port =
       | None -> Viper.Packet.max_transmission_unit
     in
     match Ipbase.Frag.fragment packet ~mtu with
-    | exception Failure _ -> t.bad_tunnel_info <- t.bad_tunnel_info + 1
+    | exception Failure _ -> C.incr t.bad_tunnel_info
     | fragments ->
-      t.encapsulated <- t.encapsulated + 1;
+      C.incr t.encapsulated;
       List.iter
         (fun fragment_bytes ->
           let frame = W.fresh_frame t.world fragment_bytes in
@@ -100,16 +101,16 @@ let encapsulate t ~seg ~rest ~in_port =
 
 (* cloud -> Sirpent: verify, reassemble, decapsulate, inject. *)
 let accept_ip t packet =
-  if not (Ipbase.Header.checksum_ok packet) then t.ip_dropped <- t.ip_dropped + 1
+  if not (Ipbase.Header.checksum_ok packet) then C.incr t.ip_dropped
   else
     match Ipbase.Frag.Reassembly.offer t.reassembly ~now:(W.now t.world) packet with
     | None -> ()
     | Some whole ->
       let h = Ipbase.Header.decode whole in
       if h.Ipbase.Header.protocol <> protocol_number then
-        t.ip_dropped <- t.ip_dropped + 1
+        C.incr t.ip_dropped
       else begin
-        t.decapsulated <- t.decapsulated + 1;
+        C.incr t.decapsulated;
         let viper_bytes =
           Bytes.sub whole Ipbase.Header.size
             (Bytes.length whole - Ipbase.Header.size)
@@ -132,6 +133,11 @@ let handle t world ~in_port ~frame ~head ~tail =
 
 let create ?router_config ?(ttl = 32) world ~node ~cloud_port ~tunnel_port () =
   let router = Sirpent.Router.create ?config:router_config world ~node () in
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics world) ?help
+      ~labels:[ ("node", string_of_int node) ]
+      ("gateway_" ^ name)
+  in
   let t =
     {
       world;
@@ -142,10 +148,10 @@ let create ?router_config ?(ttl = 32) world ~node ~cloud_port ~tunnel_port () =
       router;
       reassembly = Ipbase.Frag.Reassembly.create ();
       next_ident = 0;
-      encapsulated = 0;
-      decapsulated = 0;
-      bad_tunnel_info = 0;
-      ip_dropped = 0;
+      encapsulated = cnt "encapsulated" ~help:"Sirpent packets wrapped into IP datagrams";
+      decapsulated = cnt "decapsulated" ~help:"IP datagrams unwrapped and re-injected";
+      bad_tunnel_info = cnt "bad_tunnel_info";
+      ip_dropped = cnt "ip_dropped" ~help:"cloud arrivals failing checksum or protocol checks";
     }
   in
   Sirpent.Router.set_port_handler router ~port:tunnel_port (fun ~seg ~rest ~in_port ->

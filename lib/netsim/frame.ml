@@ -7,6 +7,7 @@ type t = {
   drop_if_blocked : bool;
   born : Sim.Time.t;
   meta : meta option;
+  flight : Telemetry.Flight.ctx option;
   mutable aborted : bool;
 }
 

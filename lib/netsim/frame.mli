@@ -15,6 +15,10 @@ type t = {
   drop_if_blocked : bool;
   born : Sim.Time.t;
   meta : meta option;
+  flight : Telemetry.Flight.ctx option;
+      (** flight-recorder trace context riding the packet (see
+          {!Telemetry.Flight}); forwarders re-framing the payload carry
+          it over so the recorded spans cover the whole route *)
   mutable aborted : bool;
       (** set when the transmission carrying this frame was preempted
           mid-wire (§5: priorities 6-7 "preempt the transmission of lower

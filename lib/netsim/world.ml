@@ -40,6 +40,22 @@ and outport = {
   qtrack : Sim.Stats.Timeweighted.t;
 }
 
+and agg = {
+  (* world-wide totals mirrored onto the telemetry registry so one
+     Telemetry.Export call snapshots the whole simulation; the per-port
+     record fields below stay authoritative for port_stats *)
+  agg_sent_frames : Telemetry.Registry.Counter.t;
+  agg_sent_bytes : Telemetry.Registry.Counter.t;
+  agg_dropped_blocked : Telemetry.Registry.Counter.t;
+  agg_dropped_overflow : Telemetry.Registry.Counter.t;
+  agg_dropped_no_link : Telemetry.Registry.Counter.t;
+  agg_preempted : Telemetry.Registry.Counter.t;
+  agg_corrupted : Telemetry.Registry.Counter.t;
+  agg_purged : Telemetry.Registry.Counter.t;
+  agg_undelivered : Telemetry.Registry.Counter.t;
+  agg_handler_errors : Telemetry.Registry.Counter.t;
+}
+
 and t = {
   engine : Sim.Engine.t;
   graph : G.t;
@@ -52,13 +68,19 @@ and t = {
       (** externally injected damage model (see [Faults]); takes precedence
           over the flat per-link BER table *)
   handler_errors : (G.node_id, int) Hashtbl.t;
-  mutable total_handler_errors : int;
   mutable next_frame_id : int;
-  mutable undelivered : int;
   mutable trace : Sim.Trace.t option;
+  metrics : Telemetry.Registry.t;
+  events : Telemetry.Events.t;
+  flight : Telemetry.Flight.t;
+  agg : agg;
 }
 
+module C = Telemetry.Registry.Counter
+
 let create ?(default_buffer_bytes = 256 * 1024) engine graph =
+  let metrics = Telemetry.Registry.create () in
+  let cnt ?help name = Telemetry.Registry.counter metrics ?help ("netsim_" ^ name) in
   {
     engine;
     graph;
@@ -69,16 +91,33 @@ let create ?(default_buffer_bytes = 256 * 1024) engine graph =
     rng = Sim.Rng.create 0xC0FFEEL;
     corruptor = None;
     handler_errors = Hashtbl.create 8;
-    total_handler_errors = 0;
     next_frame_id = 0;
-    undelivered = 0;
     trace = None;
+    metrics;
+    events = Telemetry.Events.create ();
+    flight = Telemetry.Flight.create ();
+    agg =
+      {
+        agg_sent_frames = cnt "sent_frames" ~help:"frames handed to links";
+        agg_sent_bytes = cnt "sent_bytes";
+        agg_dropped_blocked = cnt "dropped_blocked";
+        agg_dropped_overflow = cnt "dropped_overflow";
+        agg_dropped_no_link = cnt "dropped_no_link";
+        agg_preempted = cnt "preempted";
+        agg_corrupted = cnt "corrupted";
+        agg_purged = cnt "purged" ~help:"frames lost to node crashes";
+        agg_undelivered = cnt "undelivered" ~help:"frames arriving at nodes with no handler";
+        agg_handler_errors = cnt "handler_errors";
+      };
   }
 
 let engine t = t.engine
 let graph t = t.graph
 let now t = Sim.Engine.now t.engine
 let set_trace t trace = t.trace <- Some trace
+let metrics t = t.metrics
+let events t = t.events
+let flight t = t.flight
 
 let trace t fmt =
   match t.trace with
@@ -116,17 +155,24 @@ let outport t node port =
 let set_handler t node h = Hashtbl.replace t.handlers node h
 
 let fresh_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
-    ?meta payload =
+    ?meta ?flight payload =
   let id = t.next_frame_id in
   t.next_frame_id <- id + 1;
-  { Frame.id; payload; priority; drop_if_blocked; born = now t; meta; aborted = false }
+  { Frame.id; payload; priority; drop_if_blocked; born = now t; meta; flight; aborted = false }
 
 let set_buffer_bytes t ~node ~port n = (outport t node port).buffer_bytes <- n
 let set_bit_error_rate t ~link_id p = Hashtbl.replace t.ber link_id p
 let set_corruptor t f = t.corruptor <- Some f
 let clear_corruptor t = t.corruptor <- None
-let fail_link t link = G.disconnect t.graph link
-let restore_link t link = G.reconnect t.graph link
+let fail_link t link =
+  G.disconnect t.graph link;
+  Telemetry.Events.emit t.events ~time:(now t)
+    (Telemetry.Events.Link_failed { link_id = link.G.link_id })
+
+let restore_link t link =
+  G.reconnect t.graph link;
+  Telemetry.Events.emit t.events ~time:(now t)
+    (Telemetry.Events.Link_restored { link_id = link.G.link_id })
 
 let maybe_corrupt t op link frame =
   let damaged =
@@ -152,6 +198,7 @@ let maybe_corrupt t op link frame =
   | None -> frame
   | Some payload ->
     op.corrupted <- op.corrupted + 1;
+    C.incr t.agg.agg_corrupted;
     { frame with Frame.payload = payload; Frame.aborted = false }
 
 (* A raising node handler must not take the whole simulation down: the
@@ -162,12 +209,12 @@ let deliver t ~link ~from_node ~frame ~head ~tail =
   | Some h -> (
     try h t ~in_port:peer_port ~frame ~head ~tail
     with exn ->
-      t.total_handler_errors <- t.total_handler_errors + 1;
+      C.incr t.agg.agg_handler_errors;
       let n = Option.value ~default:0 (Hashtbl.find_opt t.handler_errors peer_node) in
       Hashtbl.replace t.handler_errors peer_node (n + 1);
       trace t "node %d: handler raised %s on frame#%d" peer_node
         (Printexc.to_string exn) frame.Frame.id)
-  | None -> t.undelivered <- t.undelivered + 1
+  | None -> C.incr t.agg.agg_undelivered
 
 (* Begin transmitting [frame] on [op], which must be idle, over [link]. *)
 let rec start_transmission t op link frame =
@@ -188,6 +235,8 @@ let rec start_transmission t op link frame =
   op.current <- Some { tx_frame = frame; delivered_frame = delivered; finish; delivery; completion };
   op.sent_frames <- op.sent_frames + 1;
   op.sent_bytes <- op.sent_bytes + Bytes.length frame.Frame.payload;
+  C.incr t.agg.agg_sent_frames;
+  C.add t.agg.agg_sent_bytes (Bytes.length frame.Frame.payload);
   op.busy_time <- op.busy_time + tx_time
 
 and complete t op =
@@ -202,11 +251,13 @@ and complete t op =
     | Some link -> start_transmission t op link frame
     | None ->
       op.dropped_no_link <- op.dropped_no_link + 1;
+      C.incr t.agg.agg_dropped_no_link;
       complete t op)
 
 let enqueue t op frame =
   if op.queued_bytes + Bytes.length frame.Frame.payload > op.buffer_bytes then begin
     op.dropped_overflow <- op.dropped_overflow + 1;
+    C.incr t.agg.agg_dropped_overflow;
     trace t "node %d port %d: frame#%d dropped (buffer overflow)" op.op_node
       op.op_port frame.Frame.id;
     Dropped_overflow
@@ -227,6 +278,7 @@ let send t ~node ~port frame =
   match G.link_via t.graph node port with
   | None ->
     op.dropped_no_link <- op.dropped_no_link + 1;
+    C.incr t.agg.agg_dropped_no_link;
     Dropped_no_link
   | Some link -> (
     match op.current with
@@ -250,6 +302,7 @@ let send t ~node ~port frame =
         tx.tx_frame.Frame.aborted <- true;
         tx.delivered_frame.Frame.aborted <- true;
         op.preempted <- op.preempted + 1;
+        C.incr t.agg.agg_preempted;
         trace t "node %d port %d: frame#%d preempted frame#%d" node port
           frame.Frame.id tx.tx_frame.Frame.id;
         op.current <- None;
@@ -258,6 +311,7 @@ let send t ~node ~port frame =
       end
       else if frame.Frame.drop_if_blocked then begin
         op.dropped_blocked <- op.dropped_blocked + 1;
+        C.incr t.agg.agg_dropped_blocked;
         trace t "node %d port %d: frame#%d dropped (blocked)" node port
           frame.Frame.id;
         Dropped_blocked
@@ -307,12 +361,20 @@ let purge_node t ~node =
     (fun (n, _) op ->
       if n = node then begin
         let dropped = ref 0 in
+        let mark_purged frame =
+          match frame.Frame.flight with
+          | Some ctx ->
+            Telemetry.Flight.drop ctx ~node ~in_port:(-1) ~now:(now t)
+              ~reason:"purged"
+          | None -> ()
+        in
         (match op.current with
         | Some tx ->
           Sim.Engine.cancel t.engine tx.delivery;
           Sim.Engine.cancel t.engine tx.completion;
           tx.tx_frame.Frame.aborted <- true;
           tx.delivered_frame.Frame.aborted <- true;
+          mark_purged tx.tx_frame;
           op.current <- None;
           incr dropped
         | None -> ());
@@ -321,12 +383,14 @@ let purge_node t ~node =
           | None -> ()
           | Some (_, _, frame) ->
             op.queued_bytes <- op.queued_bytes - Bytes.length frame.Frame.payload;
+            mark_purged frame;
             incr dropped;
             drain ()
         in
         drain ();
         Sim.Stats.Timeweighted.set op.qtrack ~now:(now t) 0.0;
         op.purged <- op.purged + !dropped;
+        C.add t.agg.agg_purged !dropped;
         total := !total + !dropped
       end)
     t.outports;
@@ -336,7 +400,7 @@ let purge_node t ~node =
 let handler_errors t ~node =
   Option.value ~default:0 (Hashtbl.find_opt t.handler_errors node)
 
-let total_handler_errors t = t.total_handler_errors
+let total_handler_errors t = C.value t.agg.agg_handler_errors
 
 let utilization t ~node ~port =
   let op = outport t node port in
@@ -344,4 +408,4 @@ let utilization t ~node ~port =
   if elapsed = 0 then 0.0
   else float_of_int op.busy_time /. float_of_int elapsed
 
-let undelivered t = t.undelivered
+let undelivered t = C.value t.agg.agg_undelivered

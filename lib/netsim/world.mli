@@ -41,7 +41,10 @@ val set_handler : t -> Topo.Graph.node_id -> handler -> unit
 
 val fresh_frame :
   t -> ?priority:Token.Priority.t -> ?drop_if_blocked:bool ->
-  ?meta:Frame.meta -> bytes -> Frame.t
+  ?meta:Frame.meta -> ?flight:Telemetry.Flight.ctx -> bytes -> Frame.t
+(** [flight] attaches a flight-recorder trace context to the frame;
+    forwarders that re-frame a payload pass the incoming frame's context
+    along so spans accumulate across the whole route. *)
 
 val send : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> Frame.t -> send_result
 (** Hand a frame to the node's output port for transmission now. *)
@@ -110,3 +113,16 @@ val total_handler_errors : t -> int
 val set_trace : t -> Sim.Trace.t -> unit
 (** Attach a debug trace: drops, overflows and preemptions are recorded
     with their simulation times. *)
+
+(** {1 Telemetry}
+
+    Every world owns a metrics registry, a typed event log and a flight
+    recorder; protocol layers built on the world register their metrics
+    here so a single {!Telemetry.Export.json} call snapshots the whole
+    simulation. World-wide [netsim_*] counters (sent frames/bytes, each
+    drop cause, corruption, purges, handler errors) are kept on the
+    registry; {!port_stats} remains the per-port view. *)
+
+val metrics : t -> Telemetry.Registry.t
+val events : t -> Telemetry.Events.t
+val flight : t -> Telemetry.Flight.t

@@ -38,7 +38,17 @@ module Histogram : sig
   val bucket_count : t -> int -> int
   val percentile : t -> float -> float
   (** [percentile t 0.99] approximates the 99th percentile as the upper
-      edge of the bucket containing that rank. 0 when empty. *)
+      edge of the bucket containing that rank.
+
+      Edge behavior, relied on by callers:
+      - empty histogram: [0.0] for every [p], including 0 and 1;
+      - [p = 0.0]: the upper edge of the {e first} bucket
+        ([bucket_width]), whether or not it holds any samples — rank 0 is
+        satisfied by a cumulative count of 0;
+      - [p = 1.0]: the upper edge of the last non-empty bucket;
+      - [p > 1.0]: the upper edge of the whole range
+        ([bucket_width *. buckets]), since the rank exceeds every
+        cumulative count. Out-of-range [p] is not rejected. *)
 
   val mean : t -> float
 end

@@ -6,26 +6,34 @@ type t = {
 }
 
 let create ?(capacity = 4096) () =
-  if capacity <= 0 then invalid_arg "Trace.create";
-  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+  if capacity < 0 then invalid_arg "Trace.create";
+  { capacity; ring = Array.make (max capacity 1) None; next = 0; total = 0 }
 
 let record t ~time message =
-  t.ring.(t.next) <- Some (time, message);
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
+  if t.capacity > 0 then begin
+    t.ring.(t.next) <- Some (time, message);
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
 
-let recordf t ~time fmt = Printf.ksprintf (record t ~time) fmt
+(* Capacity 0 means disabled: skip the formatting work entirely, not just
+   the store — ikfprintf consumes the arguments without rendering them. *)
+let recordf t ~time fmt =
+  if t.capacity = 0 then Printf.ikfprintf ignore () fmt
+  else Printf.ksprintf (record t ~time) fmt
 
 let size t = min t.total t.capacity
 let total t = t.total
 
 let entries t =
   let n = size t in
-  let start = if t.total <= t.capacity then 0 else t.next in
-  List.init n (fun i ->
-      match t.ring.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+  if n = 0 then []
+  else
+    let start = if t.total <= t.capacity then 0 else t.next in
+    List.init n (fun i ->
+        match t.ring.((start + i) mod t.capacity) with
+        | Some e -> e
+        | None -> assert false)
 
 let dump t =
   let buf = Buffer.create 256 in
@@ -36,6 +44,6 @@ let dump t =
   Buffer.contents buf
 
 let clear t =
-  Array.fill t.ring 0 t.capacity None;
+  Array.fill t.ring 0 (Array.length t.ring) None;
   t.next <- 0;
   t.total <- 0

@@ -7,12 +7,17 @@
 type t
 
 val create : ?capacity:int -> unit -> t
-(** Default capacity 4096 entries. *)
+(** Default capacity 4096 entries. Capacity 0 creates a disabled trace:
+    {!record} is a no-op and {!recordf} skips the formatting work
+    entirely, so an always-attached trace can be turned off for timing
+    runs without paying for string rendering. Raises [Invalid_argument]
+    on negative capacity. *)
 
 val record : t -> time:Time.t -> string -> unit
 
 val recordf : t -> time:Time.t -> ('a, unit, string, unit) format4 -> 'a
-(** [recordf t ~time "port %d busy" p] — formatted variant. *)
+(** [recordf t ~time "port %d busy" p] — formatted variant. On a
+    capacity-0 trace the arguments are consumed without being formatted. *)
 
 val size : t -> int
 (** Entries currently retained (≤ capacity). *)

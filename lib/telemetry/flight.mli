@@ -1,0 +1,104 @@
+(** The per-packet flight recorder.
+
+    A trace context is allocated where a packet enters the internetwork
+    (host send, gateway injection) and rides the simulated frame. Each
+    router that switches the packet appends one typed hop span — arrival
+    time, switching mode, token-cache outcome, departure time — mirroring
+    how the VIPER trailer accumulates one reversed segment per hop. The
+    context is completed at final delivery, or terminated with a drop span
+    carrying the same reason the dropping component counted on its drop
+    scoreboard.
+
+    Sampling keeps heavy runs cheap: with [sample_every = n] only every
+    n-th packet records spans, but a context is still allocated for the
+    rest so a drop anywhere promotes the packet into the recorder
+    ([capture_drops]). With [sample_every = 0] the recorder is disabled
+    and {!start} returns [None] — the per-packet cost is one branch.
+    Metric counters live in {!Registry} and are exact regardless of the
+    sampling policy. Completed flights are kept in a bounded ring. *)
+
+type handling = Cut_through | Store_forward | Local_delivery | Injected
+
+type token_check = No_token | Cache_hit | Cache_miss | Denied
+
+type span = {
+  node : int;
+  in_port : int;
+  out_port : int;  (** -1 when the packet did not leave (drop, local) *)
+  arrival : Sim.Time.t;  (** head arrival at this node *)
+  departure : Sim.Time.t;  (** when the forwarding action begins *)
+  queue_wait : Sim.Time.t;  (** departure - arrival *)
+  handling : handling;
+  token : token_check;
+  drop : string option;  (** drop spans only: the scoreboard reason *)
+}
+
+type flight = {
+  packet_id : int;
+  injected_at : Sim.Time.t;
+  completed_at : Sim.Time.t;
+  spans : span list;  (** route order *)
+  dropped : string option;  (** [None] = delivered *)
+}
+
+type policy = {
+  sample_every : int;  (** record spans for 1-in-N packets; 0 disables *)
+  capture_drops : bool;  (** dropped packets are recorded even unsampled *)
+  capacity : int;  (** completed flights retained (ring) *)
+}
+
+val default_policy : policy
+(** [{ sample_every = 0; capture_drops = true; capacity = 1024 }] —
+    disabled; enable per experiment with {!set_policy}. *)
+
+type t
+type ctx
+
+val create : ?policy:policy -> unit -> t
+val policy : t -> policy
+
+val set_policy : t -> policy -> unit
+(** Replaces the policy and clears all recorded state. *)
+
+val enabled : t -> bool
+
+(** {1 Producing} *)
+
+val start : t -> now:Sim.Time.t -> ctx option
+(** Allocate the trace context at injection. [None] when disabled, or
+    when this packet is unsampled and drops are not captured. *)
+
+val sampled : ctx -> bool
+
+val note_token : ctx -> token_check -> unit
+(** Record the token-cache outcome; consumed by the next {!hop}. *)
+
+val hop :
+  ctx -> node:int -> in_port:int -> out_port:int -> arrival:Sim.Time.t ->
+  departure:Sim.Time.t -> handling:handling -> unit
+(** Append this node's hop span (no-op on unsampled contexts). *)
+
+val drop : ctx -> node:int -> in_port:int -> now:Sim.Time.t -> reason:string -> unit
+(** Terminate the flight with a drop span; recorded even when unsampled
+    (if [capture_drops]), so drops are never invisible. Idempotent once
+    the flight finished. *)
+
+val complete : ctx -> now:Sim.Time.t -> unit
+(** Final delivery. Commits the flight to the ring when sampled. *)
+
+(** {1 Consuming} *)
+
+val flights : t -> flight list
+(** Completed flights retained in the ring, oldest first. *)
+
+val started : t -> int
+(** Packets that passed {!start} while enabled (sampled or not). *)
+
+val sampled_count : t -> int
+val completed : t -> int
+val dropped : t -> int
+val recorded : t -> int
+val clear : t -> unit
+
+val handling_name : handling -> string
+val token_name : token_check -> string

@@ -1,5 +1,6 @@
 module W = Netsim.World
 module Wf = Wire_format
+module C = Telemetry.Registry.Counter
 
 type config = {
   segment_bytes : int;
@@ -85,34 +86,35 @@ type t = {
   mutable on_route_switch :
     (failed:Sirpent.Route.t -> route_index:int -> unit) option;
   mutable srtt : Sim.Time.t option;
-  (* stats *)
-  mutable packets_sent : int;
-  mutable retransmits : int;
-  mutable acks_sent : int;
-  mutable rejected_checksum : int;
-  mutable rejected_entity : int;
-  mutable rejected_old : int;
-  mutable duplicate_requests : int;
-  mutable route_switches : int;
-  mutable calls_completed : int;
-  mutable calls_failed : int;
+  (* stats: registered on the world's telemetry registry, labeled by
+     entity id; [stats] is a snapshot view *)
+  packets_sent : C.t;
+  retransmits : C.t;
+  acks_sent : C.t;
+  rejected_checksum : C.t;
+  rejected_entity : C.t;
+  rejected_old : C.t;
+  duplicate_requests : C.t;
+  route_switches : C.t;
+  calls_completed : C.t;
+  calls_failed : C.t;
 }
 
 let id t = t.id
 let host t = t.host
 
-let stats t =
+let stats t : stats =
   {
-    packets_sent = t.packets_sent;
-    retransmits = t.retransmits;
-    acks_sent = t.acks_sent;
-    rejected_checksum = t.rejected_checksum;
-    rejected_entity = t.rejected_entity;
-    rejected_old = t.rejected_old;
-    duplicate_requests = t.duplicate_requests;
-    route_switches = t.route_switches;
-    calls_completed = t.calls_completed;
-    calls_failed = t.calls_failed;
+    packets_sent = C.value t.packets_sent;
+    retransmits = C.value t.retransmits;
+    acks_sent = C.value t.acks_sent;
+    rejected_checksum = C.value t.rejected_checksum;
+    rejected_entity = C.value t.rejected_entity;
+    rejected_old = C.value t.rejected_old;
+    duplicate_requests = C.value t.duplicate_requests;
+    route_switches = C.value t.route_switches;
+    calls_completed = C.value t.calls_completed;
+    calls_failed = C.value t.calls_failed;
   }
 
 let rtt_estimate t = t.srtt
@@ -167,7 +169,7 @@ let send_group t ~route ~priority packets ~indices =
       let packet = packets.(idx) in
       ignore
         (schedule t ~delay (fun () ->
-             t.packets_sent <- t.packets_sent + 1;
+             C.incr t.packets_sent;
              ignore
                (Sirpent.Host.send t.host ~route ~priority ~data:packet ())));
       go (delay + gap_for (Bytes.length packet)) rest
@@ -179,7 +181,7 @@ let send_group t ~route ~priority packets ~indices =
    peer retransmits and supplies a fresh return route — not as a raise. *)
 let send_via t ~via packet =
   let sample_packet, in_port = via in
-  t.packets_sent <- t.packets_sent + 1;
+  C.incr t.packets_sent;
   match
     Sirpent.Host.reply t.host ~to_packet:sample_packet ~in_port ~data:packet ()
   with
@@ -235,12 +237,12 @@ let finish_call t call outcome =
     Hashtbl.remove t.calls call.txn;
     match outcome with
     | `Reply data ->
-      t.calls_completed <- t.calls_completed + 1;
+      C.incr t.calls_completed;
       let rtt = now t - call.started in
       update_rtt t rtt;
       call.on_reply data ~rtt
     | `Fail reason ->
-      t.calls_failed <- t.calls_failed + 1;
+      C.incr t.calls_failed;
       call.on_fail reason
   end
 
@@ -260,7 +262,10 @@ and on_timeout t call =
       let failed = current_route call in
       call.route_idx <- call.route_idx + 1;
       call.retries <- 0;
-      t.route_switches <- t.route_switches + 1;
+      C.incr t.route_switches;
+      Telemetry.Events.emit (W.events (world t)) ~time:(now t)
+        (Telemetry.Events.Route_failover
+           { entity = t.id; route_index = call.route_idx });
       (match t.on_route_switch with
       | Some f -> f ~failed ~route_index:call.route_idx
       | None -> ());
@@ -284,12 +289,12 @@ and retransmit_request t call ~all =
     if missing = [] then List.init (Array.length call.request_packets) (fun i -> i)
     else missing
   in
-  t.retransmits <- t.retransmits + List.length missing;
+  C.add t.retransmits (List.length missing);
   send_group t ~route:(current_route call) ~priority:call.priority
     call.request_packets ~indices:missing
 
 let send_ack t ~dst ~txn ~acks_response ~mask ~group_size ~via =
-  t.acks_sent <- t.acks_sent + 1;
+  C.incr t.acks_sent;
   let packet =
     encode_packet t ~dst ~txn ~kind:Wf.Ack ~index:0 ~group_size ~acks_response
       ~mask ~data:Bytes.empty
@@ -319,7 +324,7 @@ let respond t ~client ~txn ~via data =
          | Some _ | None -> ()));
   Array.iter
     (fun packet ->
-      t.packets_sent <- t.packets_sent + 1;
+      C.incr t.packets_sent;
       send_via t ~via packet)
     packets
 
@@ -336,11 +341,11 @@ let handle_request t (p : Wf.t) ~sample =
   match Hashtbl.find_opt t.held key with
   | Some held ->
     (* Duplicate of a completed transaction: replay the response. *)
-    t.duplicate_requests <- t.duplicate_requests + 1;
+    C.incr t.duplicate_requests;
     held.expires <- now t + t.config.response_hold;
     Array.iter
       (fun packet ->
-        t.packets_sent <- t.packets_sent + 1;
+        C.incr t.packets_sent;
         send_via t ~via:held.via packet)
       held.resp_packets
   | None ->
@@ -414,10 +419,10 @@ let handle_ack t (p : Wf.t) =
         Hashtbl.remove t.held key
       else begin
         let missing = Wf.mask_missing p.Wf.delivery_mask group in
-        t.retransmits <- t.retransmits + List.length missing;
+        C.add t.retransmits (List.length missing);
         List.iter
           (fun i ->
-            t.packets_sent <- t.packets_sent + 1;
+            C.incr t.packets_sent;
             send_via t ~via:held.via held.resp_packets.(i))
           missing
       end
@@ -432,7 +437,7 @@ let handle_ack t (p : Wf.t) =
         Wf.mask_missing call.request_acked (Array.length call.request_packets)
       in
       if missing <> [] then begin
-        t.retransmits <- t.retransmits + List.length missing;
+        C.add t.retransmits (List.length missing);
         send_group t ~route:(current_route call) ~priority:call.priority
           call.request_packets ~indices:missing;
         arm_timer t call
@@ -445,18 +450,18 @@ let on_host_receive t _host ~packet ~in_port =
      let the retransmit → route-failover ladder recover. *)
   match Wf.decode payload with
   | exception (Invalid_argument _ | Wire.Buf.Underflow) ->
-    t.rejected_checksum <- t.rejected_checksum + 1
+    C.incr t.rejected_checksum
   | p ->
     if not (Wf.checksum_ok payload) then
-      t.rejected_checksum <- t.rejected_checksum + 1
+      C.incr t.rejected_checksum
     else if not (Int64.equal p.Wf.dst_entity t.id) then
-      t.rejected_entity <- t.rejected_entity + 1
+      C.incr t.rejected_entity
     else if
       not
         (Mpl.acceptable ~now_ms:(now_ms t) ~boot_ms:t.boot_ms
            ~mpl_ms:t.config.mpl_ms ~skew_allowance_ms:t.config.skew_allowance_ms
            ~timestamp_ms:p.Wf.timestamp_ms)
-    then t.rejected_old <- t.rejected_old + 1
+    then C.incr t.rejected_old
     else begin
       let sample = (packet, in_port) in
       match p.Wf.kind with
@@ -466,6 +471,11 @@ let on_host_receive t _host ~packet ~in_port =
     end
 
 let create ?(config = default_config) host ~id =
+  let cnt ?help name =
+    Telemetry.Registry.counter (W.metrics (Sirpent.Host.world host)) ?help
+      ~labels:[ ("entity", Int64.to_string id) ]
+      ("vmtp_" ^ name)
+  in
   let t =
     {
       host;
@@ -479,16 +489,16 @@ let create ?(config = default_config) host ~id =
       handler = None;
       on_route_switch = None;
       srtt = None;
-      packets_sent = 0;
-      retransmits = 0;
-      acks_sent = 0;
-      rejected_checksum = 0;
-      rejected_entity = 0;
-      rejected_old = 0;
-      duplicate_requests = 0;
-      route_switches = 0;
-      calls_completed = 0;
-      calls_failed = 0;
+      packets_sent = cnt "packets_sent";
+      retransmits = cnt "retransmits";
+      acks_sent = cnt "acks_sent";
+      rejected_checksum = cnt "rejected_checksum" ~help:"undecodable or corrupt transport payloads";
+      rejected_entity = cnt "rejected_entity";
+      rejected_old = cnt "rejected_old" ~help:"arrivals outside the MPL acceptance window";
+      duplicate_requests = cnt "duplicate_requests";
+      route_switches = cnt "route_switches" ~help:"failovers to an alternate source route";
+      calls_completed = cnt "calls_completed";
+      calls_failed = cnt "calls_failed";
     }
   in
   Sirpent.Host.set_receive host (on_host_receive t);

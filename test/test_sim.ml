@@ -206,6 +206,22 @@ let histogram_percentile () =
   check_float "p50" 50.0 (Sim.Stats.Histogram.percentile h 0.5);
   check_float "p99" 99.0 (Sim.Stats.Histogram.percentile h 0.99)
 
+(* The documented edge behavior of Histogram.percentile (see stats.mli):
+   empty -> 0 for any p; p=0 -> first bucket's upper edge; p=1 -> last
+   non-empty bucket's upper edge; p>1 -> upper edge of the whole range. *)
+let histogram_percentile_edges () =
+  let empty = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:10 in
+  check_float "empty p0" 0.0 (Sim.Stats.Histogram.percentile empty 0.0);
+  check_float "empty p50" 0.0 (Sim.Stats.Histogram.percentile empty 0.5);
+  check_float "empty p100" 0.0 (Sim.Stats.Histogram.percentile empty 1.0);
+  let h = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:10 in
+  (* one sample, far from the first bucket *)
+  Sim.Stats.Histogram.add h 7.5;
+  check_float "p0 is first bucket edge" 1.0 (Sim.Stats.Histogram.percentile h 0.0);
+  check_float "p100 is last occupied bucket edge" 8.0
+    (Sim.Stats.Histogram.percentile h 1.0);
+  check_float "p>1 is range edge" 10.0 (Sim.Stats.Histogram.percentile h 1.5)
+
 let histogram_clamps () =
   let h = Sim.Stats.Histogram.create ~bucket_width:1.0 ~buckets:10 in
   Sim.Stats.Histogram.add h (-5.0);
@@ -265,6 +281,26 @@ let trace_ring_overwrites () =
   Sim.Trace.clear tr;
   check_int "cleared" 0 (Sim.Trace.size tr)
 
+(* Capacity 0 = disabled: recordf must not even format its arguments. The
+   %t callback would flip the flag if formatting ran. *)
+let trace_capacity_zero_skips_formatting () =
+  let tr = Sim.Trace.create ~capacity:0 () in
+  let formatted = ref false in
+  Sim.Trace.recordf tr ~time:0 "event %t"
+    (fun _ ->
+      formatted := true;
+      "boom");
+  check_bool "formatting skipped" false !formatted;
+  Sim.Trace.record tr ~time:0 "plain";
+  check_int "size stays 0" 0 (Sim.Trace.size tr);
+  check_int "total stays 0" 0 (Sim.Trace.total tr);
+  Alcotest.(check (list string)) "no entries" []
+    (List.map snd (Sim.Trace.entries tr));
+  Alcotest.(check string) "dump empty" "" (Sim.Trace.dump tr);
+  Alcotest.check_raises "negative capacity still rejected"
+    (Invalid_argument "Trace.create") (fun () ->
+      ignore (Sim.Trace.create ~capacity:(-1) ()))
+
 let qcheck_engine_order =
   QCheck.Test.make ~name:"events always run in nondecreasing time order" ~count:50
     QCheck.(list_of_size Gen.(1 -- 100) (int_range 0 1000))
@@ -321,6 +357,8 @@ let () =
           Alcotest.test_case "summary basics" `Quick summary_basics;
           Alcotest.test_case "summary empty" `Quick summary_empty;
           Alcotest.test_case "histogram percentile" `Quick histogram_percentile;
+          Alcotest.test_case "histogram percentile edges" `Quick
+            histogram_percentile_edges;
           Alcotest.test_case "histogram clamps" `Quick histogram_clamps;
           Alcotest.test_case "timeweighted mean" `Quick timeweighted_mean;
           Alcotest.test_case "timeweighted monotone" `Quick timeweighted_rejects_backwards;
@@ -330,6 +368,8 @@ let () =
         [
           Alcotest.test_case "records and dumps" `Quick trace_records_and_dumps;
           Alcotest.test_case "ring overwrites" `Quick trace_ring_overwrites;
+          Alcotest.test_case "capacity 0 disables" `Quick
+            trace_capacity_zero_skips_formatting;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_engine_order ] );
