@@ -60,8 +60,12 @@ type cell = {
 
 (* One simulation: BER on the primary (ra) trunk links, optional flapping
    of ra-r3, the ra router crashed mid-run, directory frozen over the
-   middle of the run so mid-run route queries are served stale. *)
-let run_cell ~ber ~flap =
+   middle of the run so mid-run route queries are served stale.
+
+   [rng] is the cell's sweep stream: the injector seed derives from it, so
+   a cell's fault schedule depends only on the sweep seed and its grid
+   position — never on which domain runs it. *)
+let run_cell ~rng ~ber ~flap =
   let horizon = horizon () and crash_time = crash_time () in
   let g, src, dst, router_nodes, ra, primary_links, flappy = build () in
   let engine = Sim.Engine.create () in
@@ -75,7 +79,7 @@ let run_cell ~ber ~flap =
   let client = Vmtp.Entity.create h_src ~id:1L in
   let server = Vmtp.Entity.create h_dst ~id:2L in
   Vmtp.Entity.set_request_handler server (fun _ ~data:_ -> fun ~reply -> reply Bytes.empty);
-  let inj = Faults.Injector.create ~seed:180L world in
+  let inj = Faults.Injector.create ~seed:(Sim.Rng.bits64 rng) world in
   if ber > 0.0 then
     List.iter
       (fun l ->
@@ -121,20 +125,22 @@ let run_cell ~ber ~flap =
       (fun acc (_, r) -> acc + (Router.stats r).Router.dropped_malformed)
       0 routers
   in
-  {
-    completed = !completed;
-    failed = !failed;
-    crash_gap =
-      (if !first_after = 0 then horizon - crash_time else !first_after - crash_time);
-    corrupted = (Faults.Injector.stats inj).Faults.Injector.frames_corrupted;
-    malformed_drops = malformed;
-    stale = Dirsvc.Directory.stale_served dir;
-  }
+  ( {
+      completed = !completed;
+      failed = !failed;
+      crash_gap =
+        (if !first_after = 0 then horizon - crash_time else !first_after - crash_time);
+      corrupted = (Faults.Injector.stats inj).Faults.Injector.frames_corrupted;
+      malformed_drops = malformed;
+      stale = Dirsvc.Directory.stale_served dir;
+    },
+    Telemetry.Registry.snapshot (W.metrics world),
+    Telemetry.Events.entries (W.events world) )
 
 (* Region sweep: fixed BER aimed at one region of every frame on the
    src-r0 access link (requests only, before any fault diversity), single
    clean path so the counters isolate where each damage class lands. *)
-let run_region ~region ~ber =
+let run_region ~rng ~region ~ber =
   let horizon = horizon () in
   let g = G.create () in
   let src = G.add_node g G.Host and dst = G.add_node g G.Host in
@@ -152,7 +158,7 @@ let run_region ~region ~ber =
   let client = Vmtp.Entity.create h_src ~id:1L in
   let server = Vmtp.Entity.create h_dst ~id:2L in
   Vmtp.Entity.set_request_handler server (fun _ ~data:_ -> fun ~reply -> reply Bytes.empty);
-  let inj = Faults.Injector.create ~seed:181L world in
+  let inj = Faults.Injector.create ~seed:(Sim.Rng.bits64 rng) world in
   List.iter
     (fun (l : G.link) ->
       Faults.Injector.set_link_corruption inj ~link:l { Faults.Corrupt.ber; region })
@@ -179,13 +185,14 @@ let run_region ~region ~ber =
   assert (W.total_handler_errors world = 0);
   let rst = Router.stats router in
   let cst = Vmtp.Entity.stats client and sst = Vmtp.Entity.stats server in
-  ( !completed,
-    !failed,
-    (Faults.Injector.stats inj).Faults.Injector.frames_corrupted,
-    rst.Router.dropped_malformed,
-    Sirpent.Host.misdelivered h_src + Sirpent.Host.misdelivered h_dst,
-    cst.Vmtp.Entity.rejected_checksum + sst.Vmtp.Entity.rejected_checksum,
-    cst.Vmtp.Entity.retransmits )
+  ( ( !completed,
+      !failed,
+      (Faults.Injector.stats inj).Faults.Injector.frames_corrupted,
+      rst.Router.dropped_malformed,
+      Sirpent.Host.misdelivered h_src + Sirpent.Host.misdelivered h_dst,
+      cst.Vmtp.Entity.rejected_checksum + sst.Vmtp.Entity.rejected_checksum,
+      cst.Vmtp.Entity.retransmits ),
+    Telemetry.Registry.snapshot (W.metrics world) )
 
 let flap_name = function
   | None -> "none"
@@ -217,40 +224,51 @@ let run () =
         ]
       ~smoke:[ None; Some (Sim.Time.ms 500, Sim.Time.ms 200) ]
   in
+  (* The matrix is embarrassingly parallel: one world per (BER, flap)
+     cell, sharded over the domain pool. Cell seeds come from the sweep
+     streams, so the merged matrix is identical for every --jobs. *)
+  let grid =
+    List.concat_map (fun ber -> List.map (fun flap -> (ber, flap)) flaps) bers
+  in
+  let cells, sw =
+    Util.sweep grid ~f:(fun ~rng ~index:_ (ber, flap) ->
+        ((ber, flap), run_cell ~rng ~ber ~flap))
+  in
+  let merged_rows =
+    Telemetry.Merge.rows (Array.to_list (Array.map (fun (_, (_, snap, _)) -> snap) cells))
+  in
+  let merged_events =
+    Telemetry.Merge.events (Array.to_list (Array.map (fun (_, (_, _, ev)) -> ev) cells))
+  in
   let json_cells = ref [] in
   let rows =
-    List.concat_map
-      (fun ber ->
-        List.map
-          (fun flap ->
-            let c = run_cell ~ber ~flap in
-            assert (c.completed + c.failed = attempted);
-            json_cells :=
-              Util.J.Obj
-                [
-                  ("ber", Util.J.Float ber);
-                  ("flap", Util.J.String (flap_name flap));
-                  ("completed", Util.J.Int c.completed);
-                  ("failed", Util.J.Int c.failed);
-                  ("crash_gap_ms", Util.J.Float (Sim.Time.to_ms c.crash_gap));
-                  ("corrupted", Util.J.Int c.corrupted);
-                  ("malformed_drops", Util.J.Int c.malformed_drops);
-                  ("stale_served", Util.J.Int c.stale);
-                ]
-              :: !json_cells;
-            [
-              Printf.sprintf "%.0e" ber;
-              flap_name flap;
-              Util.i c.completed;
-              Util.i c.failed;
-              Util.f1 (float_of_int c.completed /. Sim.Time.to_seconds horizon);
-              Util.ms c.crash_gap;
-              Util.i c.corrupted;
-              Util.i c.malformed_drops;
-              Util.i c.stale;
-            ])
-          flaps)
-      bers
+    Array.to_list cells
+    |> List.map (fun ((ber, flap), (c, _, _)) ->
+           assert (c.completed + c.failed = attempted);
+           json_cells :=
+             Util.J.Obj
+               [
+                 ("ber", Util.J.Float ber);
+                 ("flap", Util.J.String (flap_name flap));
+                 ("completed", Util.J.Int c.completed);
+                 ("failed", Util.J.Int c.failed);
+                 ("crash_gap_ms", Util.J.Float (Sim.Time.to_ms c.crash_gap));
+                 ("corrupted", Util.J.Int c.corrupted);
+                 ("malformed_drops", Util.J.Int c.malformed_drops);
+                 ("stale_served", Util.J.Int c.stale);
+               ]
+             :: !json_cells;
+           [
+             Printf.sprintf "%.0e" ber;
+             flap_name flap;
+             Util.i c.completed;
+             Util.i c.failed;
+             Util.f1 (float_of_int c.completed /. Sim.Time.to_seconds horizon);
+             Util.ms c.crash_gap;
+             Util.i c.corrupted;
+             Util.i c.malformed_drops;
+             Util.i c.stale;
+           ])
   in
   Util.table
     ~header:
@@ -265,13 +283,23 @@ let run () =
   pf "frozen directory is replaying stale routes.\n";
 
   Util.subheading "region-aimed corruption (BER 1e-4 on every link, one clean path)";
+  let region_grid =
+    [
+      ("header", Faults.Corrupt.Header);
+      ("payload", Faults.Corrupt.Payload);
+      ("trailer", Faults.Corrupt.Trailer);
+      ("any", Faults.Corrupt.Any);
+    ]
+  in
+  let region_cells, _ =
+    Util.sweep region_grid ~f:(fun ~rng ~index:_ (label, region) ->
+        (label, run_region ~rng ~region ~ber:1e-4))
+  in
   let json_regions = ref [] in
   let rows =
-    List.map
-      (fun (label, region) ->
-        let ok, fail, corrupted, malformed, misdelivered, cksum, retx =
-          run_region ~region ~ber:1e-4
-        in
+    Array.to_list region_cells
+    |> List.map
+      (fun (label, ((ok, fail, corrupted, malformed, misdelivered, cksum, retx), _)) ->
         json_regions :=
           Util.J.Obj
             [
@@ -289,12 +317,6 @@ let run () =
           label; Util.i ok; Util.i fail; Util.i corrupted; Util.i malformed;
           Util.i misdelivered; Util.i cksum; Util.i retx;
         ])
-      [
-        ("header", Faults.Corrupt.Header);
-        ("payload", Faults.Corrupt.Payload);
-        ("trailer", Faults.Corrupt.Trailer);
-        ("any", Faults.Corrupt.Any);
-      ]
   in
   Util.table
     ~header:
@@ -307,13 +329,26 @@ let run () =
   pf "die at the router scoreboard, damaged trailers are refused by the\n";
   pf "receiving host (never a bogus return route), payload damage reaches the\n";
   pf "transport checksum; all of it is repaired by VMTP retransmission.\n";
+  let mc name = Util.J.Int (Telemetry.Merge.counter_value merged_rows name) in
   Util.write_json ~exp:"e18"
     (Util.J.Obj
-       [
-         ("experiment", Util.J.String "e18");
-         ("description", Util.J.String "fault matrix: corruption, flapping, crashes");
-         ("horizon_s", Util.J.Float (Sim.Time.to_seconds horizon));
-         ("crash_time_s", Util.J.Float (Sim.Time.to_seconds crash_time));
-         ("matrix", Util.J.List (List.rev !json_cells));
-         ("regions", Util.J.List (List.rev !json_regions));
-       ])
+       ([
+          ("experiment", Util.J.String "e18");
+          ("description", Util.J.String "fault matrix: corruption, flapping, crashes");
+          ("horizon_s", Util.J.Float (Sim.Time.to_seconds horizon));
+          ("crash_time_s", Util.J.Float (Sim.Time.to_seconds crash_time));
+          ("matrix", Util.J.List (List.rev !json_cells));
+          ("regions", Util.J.List (List.rev !json_regions));
+          (* Matrix-wide telemetry folded from the per-world registries and
+             event rings by Telemetry.Merge — identical for every --jobs. *)
+          ( "merged",
+            Util.J.Obj
+              [
+                ("netsim_sent_frames", mc "netsim_sent_frames");
+                ("netsim_corrupted", mc "netsim_corrupted");
+                ("netsim_purged", mc "netsim_purged");
+                ("netsim_dropped_overflow", mc "netsim_dropped_overflow");
+                ("events", Util.J.Int (List.length merged_events));
+              ] );
+        ]
+       @ Util.sweep_fields sw))

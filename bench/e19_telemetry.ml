@@ -184,17 +184,15 @@ let breakdown ~n_routers ~packets =
   pf "from flight spans.\n";
   (world, List.rev !json_positions)
 
-(* Part 2: wall-clock cost of the recorder on the identical workload. *)
+(* Part 2: wall-clock cost of the recorder on the identical workload.
+   Each mode is one sweep task timed inside its own domain; with --jobs 1
+   the modes run back-to-back exactly as before, while wider pools trade
+   some timing noise (cache and memory-bandwidth contention between
+   concurrent modes) for elapsed time — the off/off-repeat spread reports
+   whichever noise floor applies. *)
 let overhead ~n_routers ~packets ~reps =
   Util.subheading
     (Printf.sprintf "recorder overhead (%d packets x %d runs per mode)" packets reps);
-  let time_policy policy =
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      ignore (run_chain ~n_routers ~packets ~policy ~crash:false ())
-    done;
-    (Sys.time () -. t0) /. float_of_int reps
-  in
   let off = { Flight.sample_every = 0; capture_drops = true; capacity = 1024 } in
   let modes =
     [
@@ -204,7 +202,18 @@ let overhead ~n_routers ~packets ~reps =
       ("every packet", { Flight.sample_every = 1; capture_drops = true; capacity = 256 });
     ]
   in
-  let timed = List.map (fun (name, p) -> (name, time_policy p)) modes in
+  let _, sw =
+    Util.sweep modes ~f:(fun ~rng:_ ~index:_ (_name, policy) ->
+        for _ = 1 to reps do
+          ignore (run_chain ~n_routers ~packets ~policy ~crash:false ())
+        done)
+  in
+  let timed =
+    List.mapi
+      (fun i (name, _) ->
+        (name, sw.Parallel.Sweep.task_times_s.(i) /. float_of_int reps))
+      modes
+  in
   let base = List.assoc "off" timed in
   let json_rows = ref [] in
   let rows =
@@ -228,7 +237,7 @@ let overhead ~n_routers ~packets ~reps =
   pf "\npaper check: with the recorder off the only per-packet cost is one branch,\n";
   pf "so the off row and its repeat should differ by no more than run-to-run\n";
   pf "noise; sampling keeps full tracing available at a bounded fraction of that.\n";
-  List.rev !json_rows
+  (List.rev !json_rows, sw)
 
 let run () =
   Util.heading "E19 telemetry: hop-latency breakdown and recorder overhead";
@@ -236,7 +245,7 @@ let run () =
   let packets = Util.scaled ~full:2000 ~smoke:400 in
   let reps = Util.scaled ~full:3 ~smoke:2 in
   let world, json_positions = breakdown ~n_routers ~packets in
-  let json_overhead = overhead ~n_routers ~packets ~reps in
+  let json_overhead, sw = overhead ~n_routers ~packets ~reps in
   (* One Export call dumps the whole simulation: every router_*/host_*/
      netsim_* counter, the bench histograms above, the typed event log and
      the recorded flights. *)
@@ -249,10 +258,11 @@ let run () =
     (String.length (J.to_string snapshot));
   Util.write_json ~exp:"e19"
     (J.Obj
-       [
-         ("experiment", J.String "e19");
-         ("description", J.String "telemetry: hop-latency breakdown and overhead");
-         ("positions", J.List json_positions);
-         ("overhead", J.List json_overhead);
-         ("snapshot", snapshot);
-       ])
+       ([
+          ("experiment", J.String "e19");
+          ("description", J.String "telemetry: hop-latency breakdown and overhead");
+          ("positions", J.List json_positions);
+          ("overhead", J.List json_overhead);
+          ("snapshot", snapshot);
+        ]
+       @ Util.sweep_fields sw))

@@ -10,8 +10,12 @@
    Modes (combine freely with experiment ids):
 
      --smoke   shrunk parameter grids for CI-speed runs
-     --json    wired experiments (e2, e6, e18, e19) also write
-               BENCH_<exp>.json with machine-readable results *)
+     --json    wired experiments (e2, e6, e12, e18, e19) also write
+               BENCH_<exp>.json with machine-readable results
+     --jobs n  domain-pool width for grid-shaped experiments (e6, e12,
+               e18, e19); default = recommended domain count, 1 = the
+               serial path. Same seed => identical merged results for
+               every n. *)
 
 let experiments =
   [
@@ -41,7 +45,8 @@ let list_experiments () =
   List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) experiments;
   Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks";
   Printf.printf "  %-4s %s\n" "--smoke" "shrunk parameter grids (CI)";
-  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e18 e19)"
+  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e12 e18 e19)";
+  Printf.printf "  %-4s %s\n" "--jobs n" "domain-pool width for sweeps (1 = serial)"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -51,21 +56,39 @@ let run_one id =
     list_experiments ();
     exit 1
 
+let jobs_value raw =
+  match int_of_string_opt raw with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+    Printf.eprintf "--jobs expects a positive integer, got %S\n" raw;
+    exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags, ids =
-    List.partition (fun a -> String.length a >= 2 && String.sub a 0 2 = "--") args
-  in
-  List.iter
-    (function
+  let rec parse flags ids = function
+    | [] -> (List.rev flags, List.rev ids)
+    | "--jobs" :: n :: rest ->
+      Util.jobs := jobs_value n;
+      parse flags ids rest
+    | "--jobs" :: [] ->
+      Printf.eprintf "--jobs expects an argument\n";
+      exit 1
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      Util.jobs := jobs_value (String.sub a 7 (String.length a - 7));
+      parse flags ids rest
+    | (("--smoke" | "--json" | "--list" | "--micro") as f) :: rest ->
+      (match f with
       | "--smoke" -> Util.smoke_mode := true
       | "--json" -> Util.json_mode := true
-      | "--list" | "--micro" -> ()
-      | f ->
-        Printf.eprintf "unknown flag %S\n" f;
-        list_experiments ();
-        exit 1)
-    flags;
+      | _ -> ());
+      parse (f :: flags) ids rest
+    | f :: _ when String.length f >= 2 && String.sub f 0 2 = "--" ->
+      Printf.eprintf "unknown flag %S\n" f;
+      list_experiments ();
+      exit 1
+    | id :: rest -> parse flags (id :: ids) rest
+  in
+  let flags, ids = parse [] [] args in
   if List.mem "--list" flags then list_experiments ()
   else if List.mem "--micro" flags then Micro.run ()
   else

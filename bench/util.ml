@@ -10,11 +10,22 @@ let pf = Printf.printf
 (* Harness modes, set by Main before any experiment runs. [--smoke] asks
    experiments for a shrunk parameter grid (CI-friendly runtimes);
    [--json] makes wired experiments dump machine-readable results next to
-   their tables. *)
+   their tables; [--jobs n] sets the domain-pool width for grid-shaped
+   experiments (1 = today's serial path, bit-for-bit). *)
 let smoke_mode = ref false
 let json_mode = ref false
+let jobs = ref (Parallel.Pool.default_jobs ())
 
 let scaled ~full ~smoke = if !smoke_mode then smoke else full
+
+(* One sweep seed for the whole harness: every grid point derives its RNG
+   stream from (seed, grid index), so results are independent of --jobs. *)
+let sweep_seed = 0x512EA7_0001L
+
+let sweep ~f grid =
+  Parallel.Sweep.map ~jobs:!jobs ~seed:sweep_seed ~f (Array.of_list grid)
+
+let sweep_fields (sw : Parallel.Sweep.stats) = Parallel.Sweep.json_fields sw
 
 let write_json ~exp (doc : J.t) =
   if !json_mode then begin

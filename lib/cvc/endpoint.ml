@@ -18,10 +18,18 @@ type t = {
   pending : (int, (circuit -> unit) * (string -> unit)) Hashtbl.t;
   mutable on_receive : (t -> circuit -> bytes -> unit) option;
   mutable vci_counter : int;
+  mutable call_counter : int;
   mutable received_bytes : int;
 }
 
-let next_call_id = ref 0
+(* Call ids must be unique world-wide (the callee keys its circuit table
+   by them) but must not come from a process global: independent worlds
+   running on separate domains would race on it and bleed ids across
+   simulations. Namespacing a per-endpoint counter by the caller's node id
+   keeps ids unique within a world with no shared state. *)
+let fresh_call_id t =
+  t.call_counter <- t.call_counter + 1;
+  (t.node lsl 20) lor t.call_counter
 
 let node t = t.node
 let set_receive t f = t.on_receive <- Some f
@@ -105,6 +113,7 @@ let create world ~node =
       pending = Hashtbl.create 8;
       on_receive = None;
       vci_counter = 0;
+      call_counter = 0;
       received_bytes = 0;
     }
   in
@@ -115,8 +124,7 @@ let open_circuit t ~dst ?(reserve_bps = 0) ~on_open ~on_fail () =
   match host_port t with
   | None -> on_fail "host not connected"
   | Some (port, link) ->
-    incr next_call_id;
-    let call_id = !next_call_id in
+    let call_id = fresh_call_id t in
     let peer, _ = G.peer link t.node in
     let vci =
       Signal.alloc_vci

@@ -1,0 +1,21 @@
+(** A minimal domain pool: N independent tasks executed across OCaml 5
+    domains, claimed from a shared cursor (fetch-and-add work dealing).
+
+    Tasks must not share mutable state with one another — the intended
+    cargo is a whole simulation world built, run and reduced inside the
+    task. Results are returned in task order regardless of which domain
+    ran what. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> ('a, exn) result array
+(** [run ~jobs tasks] executes every task and returns per-task outcomes in
+    index order; an exception raised by a task is captured as [Error]
+    without disturbing its siblings. [jobs] defaults to {!default_jobs};
+    [jobs = 1] runs everything in the calling domain, in index order,
+    spawning nothing. Raises [Invalid_argument] if [jobs < 1]. *)
+
+val run_exn : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** Like {!run} but re-raises the first (lowest-index) failure after all
+    tasks have finished. *)

@@ -1,0 +1,68 @@
+(* The sweep runner: map a parameter grid through per-world simulation
+   tasks spread over a domain pool, with determinism by construction.
+
+   Each task [i] receives [Sim.Rng.stream ~seed i] — a pure function of
+   the sweep seed and the task's grid position, never of the domain that
+   happens to run it — and results come back in grid order. Hence the
+   merged output of [--jobs n] is identical to [--jobs 1] for every [n],
+   and the serial path *is* the parallel path with the pool bypassed.
+
+   Timing: every task is wall-clock timed inside its domain, and the whole
+   sweep is bracketed by process CPU time ([Sys.time] sums across
+   domains). For a CPU-bound simulation the total CPU spent equals what a
+   serial run would have cost, so [cpu_time_s /. wall_clock_s] measures
+   speedup without paying for a second, serial, run of the grid — and
+   unlike summed task *elapsed* times it does not over-credit when domains
+   outnumber cores (a descheduled task's elapsed time inflates, its CPU
+   time does not). *)
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  wall_clock_s : float;
+  cpu_time_s : float;
+  task_time_s : float;
+  task_times_s : float array;
+  speedup_vs_serial : float;
+}
+
+let map ?jobs ~seed ~(f : rng:Sim.Rng.t -> index:int -> 'i -> 'a) (grid : 'i array)
+    : 'a array * stats =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let n = Array.length grid in
+  let tasks =
+    Array.init n (fun i ->
+        fun () ->
+          let rng = Sim.Rng.stream ~seed i in
+          let t0 = Unix.gettimeofday () in
+          let v = f ~rng ~index:i grid.(i) in
+          (v, Unix.gettimeofday () -. t0))
+  in
+  let t0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
+  let timed = Pool.run_exn ~jobs tasks in
+  let cpu_time_s = Sys.time () -. c0 in
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  let task_times_s = Array.map snd timed in
+  let task_time_s = Array.fold_left ( +. ) 0.0 task_times_s in
+  let speedup_vs_serial =
+    if wall_clock_s > 0.0 then cpu_time_s /. wall_clock_s else 1.0
+  in
+  ( Array.map fst timed,
+    {
+      jobs;
+      tasks = n;
+      wall_clock_s;
+      cpu_time_s;
+      task_time_s;
+      task_times_s;
+      speedup_vs_serial;
+    } )
+
+let json_fields stats =
+  let open Telemetry.Export.Json in
+  [
+    ("wall_clock_s", Float stats.wall_clock_s);
+    ("jobs", Int stats.jobs);
+    ("speedup_vs_serial", Float stats.speedup_vs_serial);
+  ]

@@ -1,0 +1,38 @@
+(** Deterministic parameter sweeps over a domain pool.
+
+    A sweep runs one independent simulation world per grid point. Task [i]
+    is handed [Sim.Rng.stream ~seed i], a substream that depends only on
+    the sweep seed and the grid position — not on scheduling — so the
+    results (and anything merged from them, e.g. telemetry snapshots via
+    {!Telemetry.Merge}) are identical for every [jobs] value, and
+    [jobs = 1] reproduces the serial path bit-for-bit. *)
+
+type stats = {
+  jobs : int;  (** pool width actually used *)
+  tasks : int;
+  wall_clock_s : float;  (** elapsed time for the whole sweep *)
+  cpu_time_s : float;
+      (** process CPU time spent, summed over domains — for a CPU-bound
+          sweep this approximates the cost of a serial run *)
+  task_time_s : float;  (** sum of per-task elapsed times *)
+  task_times_s : float array;  (** per-task elapsed time, grid order *)
+  speedup_vs_serial : float;
+      (** [cpu_time_s /. wall_clock_s]: ≈ 1 serially (or when domains
+          merely time-share one core), → jobs with true parallelism *)
+}
+
+val map :
+  ?jobs:int ->
+  seed:int64 ->
+  f:(rng:Sim.Rng.t -> index:int -> 'i -> 'a) ->
+  'i array ->
+  'a array * stats
+(** [map ~jobs ~seed ~f grid] applies [f] to every grid point on the pool
+    and returns results in grid order. [f] must build all mutable state
+    (worlds, engines, registries) inside the call; the first task
+    exception, if any, is re-raised after the sweep drains. [jobs]
+    defaults to {!Pool.default_jobs}. *)
+
+val json_fields : stats -> (string * Telemetry.Export.Json.t) list
+(** The bench-JSON efficiency fields: [wall_clock_s], [jobs] and
+    [speedup_vs_serial]. *)

@@ -17,6 +17,18 @@ let split t =
   let seed = bits64 t in
   create (mix64 seed)
 
+(* Stream seeds depend only on (seed, index): two hash rounds separated by
+   an odd-gamma jump keep nearby indices far apart in state space, and the
+   derivation never touches a shared generator, so a sweep can hand stream
+   [i] to whichever domain runs task [i] and the produced values are
+   independent of scheduling order. *)
+let stream_seed seed index =
+  if index < 0 then invalid_arg "Rng.stream_seed";
+  mix64
+    (Int64.add (mix64 seed) (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+
+let stream ~seed index = create (stream_seed seed index)
+
 let int t n =
   if n <= 0 then invalid_arg "Rng.int";
   (* Rejection-free for our purposes: modulo bias is negligible for the

@@ -13,6 +13,15 @@ val split : t -> t
 (** A statistically independent generator derived from the current state.
     Used to give each traffic source its own stream. *)
 
+val stream_seed : int64 -> int -> int64
+(** [stream_seed seed i] is the seed of the [i]-th (0-based) substream of
+    [seed]: a pure function of its arguments, so parallel sweeps can derive
+    per-task seeds that do not depend on how tasks are scheduled across
+    domains. Raises [Invalid_argument] on a negative index. *)
+
+val stream : seed:int64 -> int -> t
+(** [stream ~seed i] is [create (stream_seed seed i)]. *)
+
 val bits64 : t -> int64
 (** Next 64 uniformly random bits. *)
 

@@ -1,0 +1,111 @@
+module R = Registry
+
+(* Merging happens on snapshots (plain immutable rows), not on live
+   registries: a sweep's worlds live in other domains, and rows are the
+   only thing that crosses back. Because every world registers the same
+   metric names with per-node labels, summing by [(name, labels)] gives
+   exactly the registry a single serial run over all worlds would have
+   produced. *)
+
+let merge_buckets a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ua, ca) :: ta, (ub, cb) :: tb ->
+      if ua = ub then (ua, ca + cb) :: go ta tb
+      else if ua < ub then (ua, ca) :: go ta b
+      else (ub, cb) :: go a tb
+  in
+  go a b
+
+(* Same semantics as [Registry.Hist.percentile], replayed over merged
+   buckets: the upper bound of the bucket holding the sample of rank
+   [max 1 (ceil (p * count))]. Bucket boundaries are identical across
+   worlds (one global Hist configuration), so this equals the percentile
+   a single histogram fed every sample would report. *)
+let percentile_of_buckets ~count ~max_v buckets p =
+  if count = 0 then 0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let rank = Stdlib.max 1 (int_of_float (ceil (p *. float_of_int count))) in
+    let rec walk seen = function
+      | [] -> max_v
+      | (upper, c) :: rest ->
+        let seen = seen + c in
+        if seen >= rank then upper else walk seen rest
+    in
+    walk 0 buckets
+  end
+
+let merge_hist (a : R.hist_sample) (b : R.hist_sample) : R.hist_sample =
+  if a.R.h_count = 0 then b
+  else if b.R.h_count = 0 then a
+  else begin
+    let h_count = a.R.h_count + b.R.h_count in
+    let h_sum = a.R.h_sum + b.R.h_sum in
+    let h_min = min a.R.h_min b.R.h_min in
+    let h_max = max a.R.h_max b.R.h_max in
+    let h_buckets = merge_buckets a.R.h_buckets b.R.h_buckets in
+    let pct = percentile_of_buckets ~count:h_count ~max_v:h_max h_buckets in
+    {
+      R.h_count;
+      h_sum;
+      h_min;
+      h_max;
+      h_mean = float_of_int h_sum /. float_of_int h_count;
+      h_p50 = pct 0.5;
+      h_p90 = pct 0.9;
+      h_p99 = pct 0.99;
+      h_buckets;
+    }
+  end
+
+let merge_sample name a b =
+  match (a, b) with
+  | R.Counter_sample x, R.Counter_sample y -> R.Counter_sample (x + y)
+  | R.Gauge_sample x, R.Gauge_sample y -> R.Gauge_sample (x +. y)
+  | R.Hist_sample x, R.Hist_sample y -> R.Hist_sample (merge_hist x y)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Telemetry.Merge: %s sampled as different instrument types" name)
+
+let rows (snapshots : R.row list list) : R.row list =
+  let tbl = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (r : R.row) ->
+         let key = (r.R.row_name, r.R.row_labels) in
+         match Hashtbl.find_opt tbl key with
+         | None ->
+           Hashtbl.replace tbl key r;
+           order := key :: !order
+         | Some prev ->
+           Hashtbl.replace tbl key
+             {
+               prev with
+               R.row_sample = merge_sample r.R.row_name prev.R.row_sample r.R.row_sample;
+             }))
+    snapshots;
+  List.rev_map (Hashtbl.find tbl) !order
+
+let events (logs : (Sim.Time.t * Events.event) list list) =
+  (* Each world's log is already time-ordered; the concatenation is
+     re-sorted by time with a stable sort, so simultaneous events from
+     different worlds keep world (grid) order — deterministic for any
+     domain schedule. *)
+  List.stable_sort
+    (fun (ta, _) (tb, _) -> compare (ta : Sim.Time.t) tb)
+    (List.concat logs)
+
+let flights (recordings : Flight.flight list list) = List.concat recordings
+
+let counter_value ?(labels = []) rows name =
+  let labels = List.sort compare labels in
+  List.fold_left
+    (fun acc (r : R.row) ->
+      match r.R.row_sample with
+      | R.Counter_sample v
+        when r.R.row_name = name && (labels = [] || r.R.row_labels = labels) ->
+        acc + v
+      | _ -> acc)
+    0 rows

@@ -1,0 +1,30 @@
+(** Folding the telemetry of many independent worlds into one result.
+
+    A parallel sweep runs one {!Netsim.World} (hence one registry, one
+    event log, one flight recorder) per domain-local task and ships plain
+    snapshots back; these functions merge them as if a single serial run
+    had owned every world. All inputs and outputs are immutable values, so
+    merging needs no locks and is safe after the domains have joined. *)
+
+val rows : Registry.row list list -> Registry.row list
+(** Merge snapshots by [(name, labels)]: counters and gauges sum;
+    histograms merge bucket-wise with count/sum/min/max/mean and the
+    p50/p90/p99 recomputed from the merged buckets (identical to a single
+    histogram that observed every sample, since bucket boundaries are
+    global). Rows keep first-appearance order across the input lists.
+    Raises [Invalid_argument] if a name was sampled as two different
+    instrument types. *)
+
+val events :
+  (Sim.Time.t * Events.event) list list -> (Sim.Time.t * Events.event) list
+(** Merge per-world event logs into one list sorted by simulated time;
+    ties keep the order of the input lists (stable), so the result is
+    deterministic for any domain schedule. *)
+
+val flights : Flight.flight list list -> Flight.flight list
+(** Concatenate per-world flight recordings in input order. *)
+
+val counter_value : ?labels:Registry.labels -> Registry.row list -> string -> int
+(** [counter_value rows name] sums every counter row called [name]
+    (optionally restricted to an exact label set) — convenient for
+    asserting on merged drop counts. *)
