@@ -1,7 +1,7 @@
 (* CI perf-regression gate: compare a smoke-run BENCH_<exp>.json against
    its committed baseline in bench/baselines/.
 
-     check_regression.exe [--tolerance 0.25] BASELINE CURRENT
+     check_regression.exe [--tolerance 0.25] [--min-speedup X] BASELINE CURRENT
 
    The simulations are deterministic (seeded RNG streams, virtual time),
    so the guarded numbers are exactly reproducible on any machine; the
@@ -17,9 +17,16 @@
          fail when current > (1 + tolerance) * baseline
 
    Wall-clock, speedup and ns/packet fields are machine-dependent and
-   deliberately not on the lists. A structural mismatch (missing baseline
-   key, array length change) also fails: it means the experiment grid or
-   schema changed and the baseline must be regenerated alongside. *)
+   deliberately not on the lists — they are never compared against the
+   baseline. The one exception is opt-in: [--min-speedup X] additionally
+   requires the CURRENT file's top-level "speedup_vs_serial" to be at
+   least X. Baselines generated on small machines carry whatever speedup
+   they measured; the gate judges only the machine CI actually ran on
+   (E20 uses X = 1.0: parallel must never lose to serial there).
+
+   A structural mismatch (missing baseline key, array length change)
+   also fails: it means the experiment grid or schema changed and the
+   baseline must be regenerated alongside. *)
 
 type json =
   | Null
@@ -253,8 +260,26 @@ let read_file file =
   close_in ic;
   s
 
+(* [--min-speedup]: the current run's top-level speedup_vs_serial must
+   reach the floor. Checked on CURRENT only — wall clock is
+   machine-dependent, so the committed baseline's value is irrelevant. *)
+let check_min_speedup v ~floor cur =
+  v.checked <- v.checked + 1;
+  match cur with
+  | Obj fields -> (
+    match List.assoc_opt "speedup_vs_serial" fields with
+    | Some (Num s) ->
+      if s < floor then
+        fail_check v "$.speedup_vs_serial: %g below required minimum %g" s floor
+    | Some _ -> fail_check v "$.speedup_vs_serial: not a number"
+    | None ->
+      fail_check v
+        "$.speedup_vs_serial: missing from current file (required by --min-speedup)")
+  | _ -> fail_check v "--min-speedup: current file is not a JSON object"
+
 let () =
   let tolerance = ref 0.25 in
+  let min_speedup = ref None in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -263,6 +288,13 @@ let () =
       | Some f when f >= 0.0 && f < 1.0 -> tolerance := f
       | _ ->
         prerr_endline "--tolerance expects a float in [0, 1)";
+        exit 2);
+      parse_args rest
+    | "--min-speedup" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some f when f >= 0.0 -> min_speedup := Some f
+      | _ ->
+        prerr_endline "--min-speedup expects a non-negative float";
         exit 2);
       parse_args rest
     | a :: rest ->
@@ -286,6 +318,9 @@ let () =
     let cur = load "current" current_file in
     let v = { checked = 0; failures = [] } in
     compare_json v ~tolerance:!tolerance ~path:"$" ~key:"" base cur;
+    (match !min_speedup with
+    | Some floor -> check_min_speedup v ~floor cur
+    | None -> ());
     if v.failures = [] then begin
       Printf.printf "check_regression: %s vs %s: %d guarded values ok (tolerance %.0f%%)\n"
         baseline_file current_file v.checked (!tolerance *. 100.0);
@@ -301,5 +336,6 @@ let () =
       exit 1
     end
   | _ ->
-    prerr_endline "usage: check_regression [--tolerance 0.25] BASELINE CURRENT";
+    prerr_endline
+      "usage: check_regression [--tolerance 0.25] [--min-speedup X] BASELINE CURRENT";
     exit 2

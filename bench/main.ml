@@ -15,7 +15,10 @@
      --jobs n  domain-pool width for grid-shaped experiments (e6, e12,
                e18, e19); default = recommended domain count, 1 = the
                serial path. Same seed => identical merged results for
-               every n. *)
+               every n.
+     --shards n  widest width for E20's region-parallel cluster
+               (default 4). Any n produces telemetry bit-identical to
+               the serial run; only wall clock changes. *)
 
 let experiments =
   [
@@ -38,6 +41,9 @@ let experiments =
     ("e17", "ablation: directory-client caching", E17_directory_cache.run);
     ("e18", "fault matrix: corruption, flapping, crashes", E18_fault_matrix.run);
     ("e19", "telemetry: hop-latency breakdown and overhead", E19_telemetry.run);
+    ( "e20",
+      "intra-world multicore: region-parallel conservative simulation",
+      E20_intra_world.run );
   ]
 
 let list_experiments () =
@@ -45,8 +51,9 @@ let list_experiments () =
   List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) experiments;
   Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks";
   Printf.printf "  %-4s %s\n" "--smoke" "shrunk parameter grids (CI)";
-  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e12 e18 e19)";
-  Printf.printf "  %-4s %s\n" "--jobs n" "domain-pool width for sweeps (1 = serial)"
+  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e12 e18 e19 e20)";
+  Printf.printf "  %-4s %s\n" "--jobs n" "domain-pool width for sweeps (1 = serial)";
+  Printf.printf "  %-4s %s\n" "--shards n" "widest width for e20's region-parallel cluster"
 
 let run_one id =
   match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
@@ -56,11 +63,11 @@ let run_one id =
     list_experiments ();
     exit 1
 
-let jobs_value raw =
+let width_value ~flag raw =
   match int_of_string_opt raw with
   | Some n when n >= 1 -> n
   | Some _ | None ->
-    Printf.eprintf "--jobs expects a positive integer, got %S\n" raw;
+    Printf.eprintf "%s expects a positive integer, got %S\n" flag raw;
     exit 1
 
 let () =
@@ -68,13 +75,22 @@ let () =
   let rec parse flags ids = function
     | [] -> (List.rev flags, List.rev ids)
     | "--jobs" :: n :: rest ->
-      Util.jobs := jobs_value n;
+      Util.jobs := width_value ~flag:"--jobs" n;
       parse flags ids rest
     | "--jobs" :: [] ->
       Printf.eprintf "--jobs expects an argument\n";
       exit 1
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
-      Util.jobs := jobs_value (String.sub a 7 (String.length a - 7));
+      Util.jobs := width_value ~flag:"--jobs" (String.sub a 7 (String.length a - 7));
+      parse flags ids rest
+    | "--shards" :: n :: rest ->
+      Util.shards := width_value ~flag:"--shards" n;
+      parse flags ids rest
+    | "--shards" :: [] ->
+      Printf.eprintf "--shards expects an argument\n";
+      exit 1
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--shards=" ->
+      Util.shards := width_value ~flag:"--shards" (String.sub a 9 (String.length a - 9));
       parse flags ids rest
     | (("--smoke" | "--json" | "--list" | "--micro") as f) :: rest ->
       (match f with

@@ -90,10 +90,26 @@ let warm_cache =
   ignore (Token.Cache.complete_verification c ~token:token_bytes ~now_ms:0);
   c
 
+let event_heap =
+  (* steady-state churn on a heap holding 256 live events, the working
+     set of a busy shard engine *)
+  let h = Sim.Heap.create () in
+  let t = ref 0 in
+  for _ = 1 to 256 do
+    incr t;
+    Sim.Heap.push h ~time:!t ~seq:0 ()
+  done;
+  (h, t)
+
 let tests =
   [
     Test.make ~name:"viper segment encode" (Staged.stage (fun () ->
         ignore (Seg.encode sample_segment)));
+    Test.make ~name:"sim heap push+pop (256 live)" (Staged.stage (fun () ->
+        let h, t = event_heap in
+        incr t;
+        Sim.Heap.push h ~time:!t ~seq:0 ();
+        ignore (Sim.Heap.pop h)));
     Test.make ~name:"viper segment decode" (Staged.stage (fun () ->
         ignore (Seg.decode sample_segment_bytes)));
     Test.make ~name:"sirpent per-hop forward (strip+trailer)" (Staged.stage (fun () ->

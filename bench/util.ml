@@ -16,6 +16,11 @@ let smoke_mode = ref false
 let json_mode = ref false
 let jobs = ref (Parallel.Pool.default_jobs ())
 
+(* [--shards n] sets the widest width E20 drives the region-parallel
+   cluster at. Fixed default (not core count) so the baseline JSON has
+   a stable shape across machines. *)
+let shards = ref 4
+
 let scaled ~full ~smoke = if !smoke_mode then smoke else full
 
 (* One sweep seed for the whole harness: every grid point derives its RNG

@@ -267,12 +267,16 @@ let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
         | Some c ->
           Congestion.submit c ~out_port ~next_port ~bytes:(Bytes.length payload) ~send)
 
-let forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant =
+(* [payload] is the full arriving packet and [pos] the offset where the
+   stripped segment ends: the strip + trailer-append pair is fused into
+   one allocation ({!Viper.Trailer.append_hop_sub}) instead of copying
+   the packet twice per hop. *)
+let forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant =
   let return_seg = return_segment t ~seg ~in_port ~in_info ~grant in
   (* The loopback append reads the trailer framing; on a frame whose
      trailer was damaged in flight it fails — a counted drop, not an
      exception out of the frame handler. *)
-  match Viper.Trailer.append_hop rest return_seg with
+  match Viper.Trailer.append_hop_sub payload ~pos return_seg with
   | exception (Invalid_argument _ | Failure _ | Wire.Buf.Underflow | Wire.Buf.Overflow)
     ->
     C.incr t.dropped_malformed;
@@ -397,14 +401,18 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
     flight_drop t ~frame ~in_port ~reason:"parse_error"
   end
   else
-    match Pkt.parse_leading payload with
+    match Pkt.parse_leading_pos payload with
     | Error _ ->
       (* A frame damaged in flight (or truncated by preemption) must become
          a counted drop, never an exception out of the frame handler. *)
       C.incr t.dropped_malformed;
       flight_drop t ~frame ~in_port ~reason:"malformed"
-    | Ok (seg, rest) ->
+    | Ok (seg, pos) ->
       let header_size = Seg.encoded_size seg in
+      (* The stripped remainder, materialized only on the slow paths
+         (splice, tree multicast, custom ports); plain forwarding works
+         from (payload, pos) without the intermediate copy. *)
+      let rest () = Bytes.sub payload pos (Bytes.length payload - pos) in
       if seg.Seg.port = Seg.local_port then
         deliver_local t ~frame ~payload ~in_port ~tail
       else begin
@@ -412,6 +420,7 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
         | Some f ->
           (* custom port (e.g. an interop tunnel): hand over after full
              reception, like any store-and-forward boundary *)
+          let rest = rest () in
           schedule t
             ~time:(max (now t) tail + t.config.process_time)
             (fun () -> f ~seg ~rest ~in_port)
@@ -421,25 +430,26 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
           let best = choose_least_queued t physical in
           with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
             ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
-              forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port:best
-                ~head ~tail ~header_size ~grant)
+              forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info
+                ~out_port:best ~head ~tail ~header_size ~grant)
         | Some (Logical.Splice expansion) ->
           C.incr t.spliced;
           let vnt_tail = seg.Seg.flags.Seg.vnt in
           let expansion = normalize_expansion expansion ~vnt_tail in
-          let payload' = prepend_segments expansion rest in
+          let payload' = prepend_segments expansion (rest ()) in
           process t ~frame ~payload:payload' ~in_port ~in_info ~head ~tail
             ~depth:(depth + 1)
         | None ->
           if seg.Seg.port = Seg.broadcast_port then
-            multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail
+            multicast t ~seg ~frame ~payload ~pos ~in_port ~in_info ~head ~tail
               ~header_size ~ports:(all_ports_except t ~except:in_port)
           else if seg.Seg.port = Viper.Multicast.tree_port then
-            tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth
+            tree_multicast t ~seg ~frame ~rest:(rest ()) ~in_port ~in_info ~head
+              ~tail ~depth
           else if Seg.is_multicast_port seg.Seg.port then begin
             match Hashtbl.find_opt t.port_groups seg.Seg.port with
             | Some ports ->
-              multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail
+              multicast t ~seg ~frame ~payload ~pos ~in_port ~in_info ~head ~tail
                 ~header_size ~ports
             | None ->
               C.incr t.parse_errors;
@@ -448,7 +458,7 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
           else
             with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
               ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
-                forward_one t ~seg ~frame ~rest ~in_port ~in_info
+                forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info
                   ~out_port:seg.Seg.port ~head ~tail ~header_size ~grant)
       end
 
@@ -472,13 +482,13 @@ and choose_least_queued t ports =
       (fun best p -> if load p < load best then p else best)
       first ports
 
-and multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~header_size
-    ~ports =
+and multicast t ~seg ~frame ~payload ~pos ~in_port ~in_info ~head ~tail
+    ~header_size ~ports =
   List.iter
     (fun out_port ->
       C.incr t.multicast_copies;
-      forward_one t ~seg ~frame ~rest ~in_port ~in_info ~out_port ~head ~tail
-        ~header_size ~grant:None)
+      forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head
+        ~tail ~header_size ~grant:None)
     ports
 
 and tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth =

@@ -1,0 +1,55 @@
+(** Region partitioner for intra-world multicore simulation.
+
+    Splits one topology into per-region subgraphs keyed on the region of
+    node addresses. Each subgraph re-creates every node of the full graph
+    (same dense ids, names and kinds) and materializes the links internal
+    to its region in original connection order, so all port numbers match
+    the full graph — source routes computed on the full topology stay
+    valid inside any region. Links whose endpoints live in different
+    regions become {e gateway links}: the only inter-shard edges, each
+    wired at its original port to a proxy stub standing in for the remote
+    side. The gateway's propagation delay is the physical lower bound on
+    cross-shard causality and therefore the shard's lookahead; a
+    zero-delay gateway link offers no lookahead and refuses to partition
+    ({!Zero_latency_gateway}) — callers fall back to the serial path. *)
+
+module G = Topo.Graph
+
+type gateway = {
+  gw_link : G.link;  (** the original full-graph link *)
+  a_region : int;
+  b_region : int;
+  a_proxy : G.node_id;  (** in [graphs.(a_region)], stands in for side [b] *)
+  b_proxy : G.node_id;  (** in [graphs.(b_region)], stands in for side [a] *)
+}
+
+type t = {
+  regions : int;
+  full : G.t;
+  graphs : G.t array;  (** one subgraph per region, shared node ids *)
+  region_of : int array;  (** node id -> region *)
+  gateways : gateway array;  (** in original link order *)
+  lookahead : Sim.Time.t array;
+      (** per region: min propagation over incident gateway links;
+          [max_int] for a region with no gateway (it never blocks). *)
+}
+
+type error =
+  | Zero_latency_gateway of G.link
+  | Bad_region of { node : G.node_id; region : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val split : G.t -> region:(G.node_id -> int) -> (t, error) result
+(** Regions must be numbered densely enough from 0 ([regions] is
+    [1 + max region]); a negative region is {!Bad_region}. *)
+
+val region_key : string -> int option
+(** The region field of a node address, by naming convention: the integer
+    following the last ["region"] or ["campus"] marker in the node name
+    (e.g. ["host7.campus2"] -> [Some 2]). *)
+
+val by_name : G.t -> (G.node_id -> int, error) result
+(** A region function read off every node's name via {!region_key};
+    [Bad_region] (with [region = -1]) if any node name lacks a region
+    marker. *)

@@ -1,0 +1,258 @@
+(* Region-sharded simulation cluster: one engine + world per region of a
+   {!Partition.t}, stitched together over bounded SPSC channels at the
+   gateway links and driven by {!Parallel.Conservative}.
+
+   Determinism by construction: every event in every engine carries a
+   unique total (time, seq) key. Local events get dense local seqs;
+   a frame crossing gateway [i] in direction [d] (0 = a->b, 1 = b->a)
+   enters the peer engine with
+
+     seq = Engine.foreign_seq_base + m_seq * (2 * gateways) + (2*i + d)
+
+   where [m_seq] is the per-directed-channel message counter, assigned by
+   the producing shard in simulation-event order (itself deterministic).
+   Channel dir indices are disjoint and every producer is deterministic,
+   so the key — and hence the execution order — is independent of the
+   domain schedule, and any shard count replays the identical event
+   sequence. *)
+
+module G = Topo.Graph
+
+type message = {
+  m_seq : int;  (** per-directed-channel counter, producer-assigned *)
+  head : Sim.Time.t;
+  tail : Sim.Time.t;
+  payload : bytes;
+  priority : Token.Priority.t;
+  drop_if_blocked : bool;
+  born : Sim.Time.t;
+  aborted : bool;
+  carried : Telemetry.Flight.carried option;
+}
+
+type shard = {
+  region : int;
+  engine : Sim.Engine.t;
+  world : World.t;
+  clock : Sim.Shard_engine.t;
+  egress : Telemetry.Registry.Counter.t;
+  ingress : Telemetry.Registry.Counter.t;
+  meta_dropped : Telemetry.Registry.Counter.t;
+}
+
+type t = {
+  part : Partition.t;
+  members : shard array;  (** index = region *)
+  channels : message Parallel.Spsc.t array;  (** index = channel dir *)
+  m_seq : int array;  (** per dir; producer-owned, read after the run *)
+  in_dirs : int list array;  (** per region: dirs delivering into it *)
+  in_edges : int list array;  (** per region: producing regions *)
+  deliver : (message -> unit) array;  (** per dir: consumer-side import *)
+}
+
+type stats = {
+  shards : int;
+  regions : int;
+  rounds : int;
+  null_messages : int;
+  cross_frames : int;
+  wall_clock_s : float;
+  cpu_time_s : float;
+}
+
+(* Consumer-side half of channel [dir]: schedule the crossing into the
+   destination engine at the frame's head-arrival time. The stamp can
+   never be in the past: the producer pushed it before publishing a
+   promise at or below [head], and the consumer's clock stays strictly
+   below the minimum in-promise it last read. *)
+let deliverer members ~ngw ~dir ~dst ~node ~in_port =
+  fun (msg : message) ->
+    let sh = members.(dst) in
+    let seq = Sim.Engine.foreign_seq_base + (msg.m_seq * (2 * ngw)) + dir in
+    Sim.Engine.schedule_foreign sh.engine ~time:msg.head ~seq (fun () ->
+        Telemetry.Registry.Counter.incr sh.ingress;
+        let flight =
+          match msg.carried with
+          | None -> None
+          | Some c -> Telemetry.Flight.import (World.flight sh.world) c
+        in
+        let frame =
+          World.import_frame sh.world ~priority:msg.priority
+            ~drop_if_blocked:msg.drop_if_blocked ?flight ~born:msg.born
+            ~aborted:msg.aborted msg.payload
+        in
+        World.deliver_direct sh.world ~node ~in_port ~frame ~head:msg.head
+          ~tail:msg.tail)
+
+let drain_region t r =
+  List.iter
+    (fun dir ->
+      let ch = t.channels.(dir) in
+      let f = t.deliver.(dir) in
+      let rec loop () =
+        match Parallel.Spsc.pop ch with
+        | Some msg ->
+          f msg;
+          loop ()
+        | None -> ()
+      in
+      loop ())
+    t.in_dirs.(r)
+
+(* A full channel cannot be waited out passively: the peer may itself be
+   blocked pushing toward us. Keep draining our own inboxes while we
+   spin, so the cycle always makes progress. Past a short spin, sleep —
+   the consumer may share this core. *)
+let push_spin t r ch msg =
+  let idle = ref 0 in
+  while not (Parallel.Spsc.try_push ch msg) do
+    drain_region t r;
+    incr idle;
+    if !idle < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+  done
+
+let create ?(channel_capacity = 4096) (part : Partition.t) =
+  let regions = part.Partition.regions in
+  let ngw = Array.length part.Partition.gateways in
+  let members =
+    Array.init regions (fun region ->
+        let engine = Sim.Engine.create () in
+        let world = World.create engine part.Partition.graphs.(region) in
+        let clock =
+          Sim.Shard_engine.create ~lookahead:part.Partition.lookahead.(region) engine
+        in
+        let m = World.metrics world in
+        {
+          region;
+          engine;
+          world;
+          clock;
+          egress =
+            Telemetry.Registry.counter m
+              ~help:"frames shipped out over a gateway channel"
+              "netsim_gateway_egress_frames";
+          ingress =
+            Telemetry.Registry.counter m
+              ~help:"frames imported from a gateway channel"
+              "netsim_gateway_ingress_frames";
+          meta_dropped =
+            Telemetry.Registry.counter m
+              ~help:"frames whose world-local metadata cannot cross a gateway"
+              "netsim_shard_meta_dropped";
+        })
+  in
+  let channels =
+    Array.init (2 * ngw) (fun _ -> Parallel.Spsc.create ~capacity:channel_capacity)
+  in
+  let m_seq = Array.make (2 * ngw) 0 in
+  let in_dirs = Array.make regions [] in
+  let in_edges = Array.make regions [] in
+  let deliver = Array.make (2 * ngw) (fun (_ : message) -> ()) in
+  let t = { part; members; channels; m_seq; in_dirs; in_edges; deliver } in
+  (* Wire both directions of every gateway: the egress proxy in the
+     producing region forwards deliveries into the channel; the consumer
+     side re-injects them at the real endpoint's original port. *)
+  Array.iteri
+    (fun i (gw : Partition.gateway) ->
+      let l = gw.Partition.gw_link in
+      let wire ~dir ~src ~proxy ~dst ~node ~in_port =
+        let ch = t.channels.(dir) in
+        let producer = t.members.(src) in
+        t.deliver.(dir) <- deliverer members ~ngw ~dir ~dst ~node ~in_port;
+        t.in_dirs.(dst) <- t.in_dirs.(dst) @ [ dir ];
+        if not (List.mem src t.in_edges.(dst)) then
+          t.in_edges.(dst) <- t.in_edges.(dst) @ [ src ];
+        (* The tap fires when a transmission toward the proxy is
+           scheduled: its head time joins the shard's pending-outbound
+           multiset and caps the promise until the delivery fires (or is
+           lazily discarded if preemption kills it). *)
+        World.set_departure_tap producer.world ~node:proxy (fun ~head ->
+            Sim.Shard_engine.note_outbound producer.clock ~head);
+        World.set_handler producer.world proxy
+          (fun _w ~in_port:_ ~frame ~head ~tail ->
+            Sim.Shard_engine.outbound_sent producer.clock ~head;
+            match frame.Frame.meta with
+            | Some _ -> Telemetry.Registry.Counter.incr producer.meta_dropped
+            | None ->
+              let msg =
+                {
+                  m_seq = t.m_seq.(dir);
+                  head;
+                  tail;
+                  payload = frame.Frame.payload;
+                  priority = frame.Frame.priority;
+                  drop_if_blocked = frame.Frame.drop_if_blocked;
+                  born = frame.Frame.born;
+                  aborted = frame.Frame.aborted;
+                  carried = Option.map Telemetry.Flight.export frame.Frame.flight;
+                }
+              in
+              t.m_seq.(dir) <- t.m_seq.(dir) + 1;
+              Telemetry.Registry.Counter.incr producer.egress;
+              push_spin t src ch msg)
+      in
+      wire ~dir:(2 * i) ~src:gw.Partition.a_region ~proxy:gw.Partition.a_proxy
+        ~dst:gw.Partition.b_region ~node:l.G.b ~in_port:l.G.b_port;
+      wire ~dir:((2 * i) + 1) ~src:gw.Partition.b_region ~proxy:gw.Partition.b_proxy
+        ~dst:gw.Partition.a_region ~node:l.G.a ~in_port:l.G.a_port)
+    part.Partition.gateways;
+  t
+
+let regions t = Array.length t.members
+let world t r = t.members.(r).world
+let engine t r = t.members.(r).engine
+let graph t r = t.part.Partition.graphs.(r)
+let partition t = t.part
+let region_of t node = t.part.Partition.region_of.(node)
+
+let run ?(shards = 1) ~until t =
+  let endpoints =
+    Array.map
+      (fun sh ->
+        {
+          Parallel.Conservative.drain = (fun () -> drain_region t sh.region);
+          inbox_empty =
+            (fun () ->
+              List.for_all
+                (fun d -> Parallel.Spsc.is_empty t.channels.(d))
+                t.in_dirs.(sh.region));
+          advance = (fun ~safe_in -> Sim.Shard_engine.advance sh.clock ~safe_in ~until);
+          promise = (fun ~safe_in -> Sim.Shard_engine.promise sh.clock ~safe_in);
+          at_end = (fun ~safe_in -> Sim.Shard_engine.finished sh.clock ~safe_in ~until);
+        })
+      t.members
+  in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let c = Parallel.Conservative.run ~shards ~in_edges:t.in_edges endpoints in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  {
+    shards = c.Parallel.Conservative.shards;
+    regions = Array.length t.members;
+    rounds = c.Parallel.Conservative.rounds;
+    null_messages = c.Parallel.Conservative.null_messages;
+    cross_frames = Array.fold_left ( + ) 0 t.m_seq;
+    wall_clock_s = wall;
+    cpu_time_s = cpu;
+  }
+
+(* Merged telemetry: folded in fixed region order, so the merged view is
+   identical for every shard count (the per-region state is). *)
+
+let merged_rows t =
+  Telemetry.Merge.rows
+    (Array.to_list
+       (Array.map
+          (fun sh -> Telemetry.Registry.snapshot (World.metrics sh.world))
+          t.members))
+
+let merged_events t =
+  Telemetry.Merge.events
+    (Array.to_list
+       (Array.map (fun sh -> Telemetry.Events.entries (World.events sh.world)) t.members))
+
+let merged_flights t =
+  Telemetry.Merge.flights
+    (Array.to_list
+       (Array.map (fun sh -> Telemetry.Flight.flights (World.flight sh.world)) t.members))

@@ -1,0 +1,58 @@
+(** A region-sharded simulation cluster.
+
+    One {!Sim.Engine} + {!World} per region of a {!Partition.t}, joined
+    only at the gateway links: each direction of each gateway is a
+    bounded SPSC channel carrying timestamped frame crossings plus the
+    packet's flight-recorder context, and the shards advance under the
+    conservative protocol of {!Parallel.Conservative}, with each
+    gateway's propagation delay as the lookahead.
+
+    Determinism: cross-shard frames enter the peer engine with a seq key
+    [foreign_seq_base + m_seq * (2*gateways) + dir] derived from the
+    producing shard's deterministic message counter, so the (time, seq)
+    execution order — and therefore every counter, histogram, event ring
+    and flight — is bit-identical for every [shards] value, including
+    the never-spawning [shards = 1] serial reference. *)
+
+module G = Topo.Graph
+
+type t
+
+val create : ?channel_capacity:int -> Partition.t -> t
+(** Builds the per-region engines/worlds and wires the gateway proxies.
+    Protocol stacks are installed afterwards by the caller, on each
+    region's {!world}, for the nodes that region owns.
+    [channel_capacity] bounds each gateway channel (default 4096); a
+    full channel back-pressures the producing shard, which keeps
+    draining its own inboxes while it waits. *)
+
+val regions : t -> int
+val world : t -> int -> World.t
+val engine : t -> int -> Sim.Engine.t
+val graph : t -> int -> G.t
+val partition : t -> Partition.t
+val region_of : t -> G.node_id -> int
+
+type stats = {
+  shards : int;  (** worker domains actually used *)
+  regions : int;
+  rounds : int;  (** max conservative sync rounds over workers *)
+  null_messages : int;  (** promise publications that moved a bound *)
+  cross_frames : int;  (** frames that crossed a gateway channel *)
+  wall_clock_s : float;
+  cpu_time_s : float;
+}
+
+val run : ?shards:int -> until:Sim.Time.t -> t -> stats
+(** Advance every region through [until]. [shards = 1] (the default)
+    drives all regions from the calling domain and never spawns; larger
+    values fan regions out over that many domains via {!Parallel.Pool}. *)
+
+(** {1 Merged telemetry}
+
+    Folded with {!Telemetry.Merge} in fixed region order — identical
+    output for every shard count. *)
+
+val merged_rows : t -> Telemetry.Registry.row list
+val merged_events : t -> (Sim.Time.t * Telemetry.Events.event) list
+val merged_flights : t -> Telemetry.Flight.flight list

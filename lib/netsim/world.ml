@@ -68,6 +68,9 @@ and t = {
       (** externally injected damage model (see [Faults]); takes precedence
           over the flat per-link BER table *)
   handler_errors : (G.node_id, int) Hashtbl.t;
+  taps : (G.node_id, head:Sim.Time.t -> unit) Hashtbl.t;
+      (** departure taps: notified when a transmission whose delivery
+          will arrive at the tapped node is scheduled (shard lookahead) *)
   mutable next_frame_id : int;
   mutable trace : Sim.Trace.t option;
   metrics : Telemetry.Registry.t;
@@ -91,6 +94,7 @@ let create ?(default_buffer_bytes = 256 * 1024) engine graph =
     rng = Sim.Rng.create 0xC0FFEEL;
     corruptor = None;
     handler_errors = Hashtbl.create 8;
+    taps = Hashtbl.create 4;
     next_frame_id = 0;
     trace = None;
     metrics;
@@ -153,12 +157,19 @@ let outport t node port =
     op
 
 let set_handler t node h = Hashtbl.replace t.handlers node h
+let set_departure_tap t ~node f = Hashtbl.replace t.taps node f
 
 let fresh_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
     ?meta ?flight payload =
   let id = t.next_frame_id in
   t.next_frame_id <- id + 1;
   { Frame.id; payload; priority; drop_if_blocked; born = now t; meta; flight; aborted = false }
+
+let import_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
+    ?flight ~born ~aborted payload =
+  let id = t.next_frame_id in
+  t.next_frame_id <- id + 1;
+  { Frame.id; payload; priority; drop_if_blocked; born; meta = None; flight; aborted }
 
 let set_buffer_bytes t ~node ~port n = (outport t node port).buffer_bytes <- n
 let set_bit_error_rate t ~link_id p = Hashtbl.replace t.ber link_id p
@@ -203,18 +214,21 @@ let maybe_corrupt t op link frame =
 
 (* A raising node handler must not take the whole simulation down: the
    event loop survives, the fault is charged to the receiving node. *)
-let deliver t ~link ~from_node ~frame ~head ~tail =
-  let peer_node, peer_port = G.peer link from_node in
-  match Hashtbl.find_opt t.handlers peer_node with
+let deliver_direct t ~node ~in_port ~frame ~head ~tail =
+  match Hashtbl.find_opt t.handlers node with
   | Some h -> (
-    try h t ~in_port:peer_port ~frame ~head ~tail
+    try h t ~in_port ~frame ~head ~tail
     with exn ->
       C.incr t.agg.agg_handler_errors;
-      let n = Option.value ~default:0 (Hashtbl.find_opt t.handler_errors peer_node) in
-      Hashtbl.replace t.handler_errors peer_node (n + 1);
-      trace t "node %d: handler raised %s on frame#%d" peer_node
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.handler_errors node) in
+      Hashtbl.replace t.handler_errors node (n + 1);
+      trace t "node %d: handler raised %s on frame#%d" node
         (Printexc.to_string exn) frame.Frame.id)
   | None -> C.incr t.agg.agg_undelivered
+
+let deliver t ~link ~from_node ~frame ~head ~tail =
+  let peer_node, peer_port = G.peer link from_node in
+  deliver_direct t ~node:peer_node ~in_port:peer_port ~frame ~head ~tail
 
 (* Begin transmitting [frame] on [op], which must be idle, over [link]. *)
 let rec start_transmission t op link frame =
@@ -225,6 +239,12 @@ let rec start_transmission t op link frame =
   let head = start + link.G.props.G.propagation in
   let tail = finish + link.G.props.G.propagation in
   let delivered = maybe_corrupt t op link frame in
+  (if Hashtbl.length t.taps > 0 then begin
+     let peer_node, _ = G.peer link op.op_node in
+     match Hashtbl.find_opt t.taps peer_node with
+     | Some f -> f ~head
+     | None -> ()
+   end);
   let delivery =
     Sim.Engine.schedule_at t.engine ~time:head (fun () ->
         deliver t ~link ~from_node:op.op_node ~frame:delivered ~head ~tail)

@@ -49,6 +49,34 @@ val fresh_frame :
 val send : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> Frame.t -> send_result
 (** Hand a frame to the node's output port for transmission now. *)
 
+(** {1 Region sharding hooks}
+
+    Used by {!Shard} to stitch per-region worlds into one internetwork:
+    an egress proxy's departure tap feeds the shard's time promise, and
+    frames crossing a gateway re-enter the peer region through
+    {!import_frame} + {!deliver_direct}. *)
+
+val set_departure_tap : t -> node:Topo.Graph.node_id -> (head:Sim.Time.t -> unit) -> unit
+(** Call [f ~head] whenever a transmission whose delivery will arrive at
+    [node] is scheduled. The delivery may still be cancelled by
+    preemption or a crash; consumers treat un-fired heads at or below
+    the clock as dead (see {!Sim.Shard_engine.outbound_sent}). *)
+
+val import_frame :
+  t -> ?priority:Token.Priority.t -> ?drop_if_blocked:bool ->
+  ?flight:Telemetry.Flight.ctx -> born:Sim.Time.t -> aborted:bool -> bytes ->
+  Frame.t
+(** A frame re-entering this world from another region's shard: fresh
+    local id, explicit provenance. [meta] does not cross gateways (it
+    may hold world-local state); the shard layer counts such drops. *)
+
+val deliver_direct :
+  t -> node:Topo.Graph.node_id -> in_port:Topo.Graph.port -> frame:Frame.t ->
+  head:Sim.Time.t -> tail:Sim.Time.t -> unit
+(** Invoke [node]'s handler as if [frame] arrived on [in_port] — the
+    ingress half of a gateway crossing. Handler exceptions are caught
+    and counted exactly as for a link delivery. *)
+
 val set_buffer_bytes : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int -> unit
 
 val set_bit_error_rate : t -> link_id:int -> float -> unit

@@ -1,0 +1,100 @@
+(* The conservative (null-message) synchronization driver.
+
+   Endpoints are shards of one simulation; in_edges records which shards
+   can send messages to which. Each shard owns one published promise — a
+   monotone lower bound on the timestamp of anything it might still send
+   — held in an atomic written only by the shard's owning worker and
+   read by its out-neighbors.
+
+   A worker loops over its shards; per shard and per round it
+
+     1. reads safe_in = min over in-neighbor promises,
+     2. drains the shard's inboxes (any message sent before the
+        promises it just read is already in its channel: producers push
+        before they publish, so reading promises first closes the race),
+     3. advances the shard's engine strictly below safe_in,
+     4. publishes the shard's new promise (counted as a null message
+        when the value moved),
+     5. retires the shard once it ran through [until], no in-neighbor
+        can send at or below it, and its inboxes are empty.
+
+   [shards = 1] runs the single worker in the calling domain and never
+   spawns; any other width reuses {!Pool}'s domains, one long-running
+   worker per group of round-robin-assigned shards. Determinism does not
+   depend on the grouping: messages carry totally ordered (time, seq)
+   keys, so each shard's engine executes the same sequence whatever the
+   domain schedule. *)
+
+type endpoint = {
+  drain : unit -> unit;
+  inbox_empty : unit -> bool;
+  advance : safe_in:Sim.Time.t -> bool;
+  promise : safe_in:Sim.Time.t -> Sim.Time.t;
+  at_end : safe_in:Sim.Time.t -> bool;
+}
+
+type stats = { shards : int; rounds : int; null_messages : int }
+
+let run ?(shards = 1) ~in_edges (endpoints : endpoint array) =
+  let n = Array.length endpoints in
+  if shards < 1 then invalid_arg "Conservative.run: shards < 1";
+  if Array.length in_edges <> n then
+    invalid_arg "Conservative.run: in_edges length mismatch";
+  let groups = max 1 (min shards n) in
+  let promises = Array.init n (fun _ -> Atomic.make 0) in
+  let retired = Array.make n false in
+  let safe_in r =
+    List.fold_left
+      (fun acc src -> min acc (Atomic.get promises.(src)))
+      max_int in_edges.(r)
+  in
+  let worker g () =
+    let mine = ref [] in
+    for r = n - 1 downto 0 do
+      if r mod groups = g then mine := r :: !mine
+    done;
+    let remaining = ref (List.length !mine) in
+    let rounds = ref 0 and nulls = ref 0 and idle = ref 0 in
+    while !remaining > 0 do
+      incr rounds;
+      let progressed = ref false in
+      List.iter
+        (fun r ->
+          if not retired.(r) then begin
+            let ep = endpoints.(r) in
+            let safe = safe_in r in
+            ep.drain ();
+            if ep.advance ~safe_in:safe then progressed := true;
+            let p = ep.promise ~safe_in:safe in
+            if p > Atomic.get promises.(r) then begin
+              Atomic.set promises.(r) p;
+              incr nulls;
+              progressed := true
+            end;
+            if ep.at_end ~safe_in:safe && ep.inbox_empty () then begin
+              retired.(r) <- true;
+              Atomic.set promises.(r) max_int;
+              decr remaining;
+              progressed := true
+            end
+          end)
+        !mine;
+      if !progressed then idle := 0
+      else begin
+        (* Starved: our shards wait on promises owned by other domains.
+           Spin briefly, then yield the processor — on an oversubscribed
+           machine a non-yielding spin would burn whole scheduler quanta
+           between null-message rounds. *)
+        incr idle;
+        if !idle < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+      end
+    done;
+    (!rounds, !nulls)
+  in
+  let per_group =
+    if groups = 1 then [| worker 0 () |]
+    else Pool.run_exn ~jobs:groups (Array.init groups (fun g -> fun () -> worker g ()))
+  in
+  let rounds = Array.fold_left (fun acc (r, _) -> max acc r) 0 per_group in
+  let null_messages = Array.fold_left (fun acc (_, nl) -> acc + nl) 0 per_group in
+  { shards = groups; rounds; null_messages }

@@ -1,0 +1,36 @@
+(** Conservative (Chandy–Misra–Bryant) synchronization across shards of
+    one simulation.
+
+    Each endpoint wraps one shard (in practice a
+    {!Sim.Shard_engine} + its world and channels) behind five closures;
+    the driver owns the promise atomics, the worker loop, the
+    null-message accounting and the domain fan-out. Shard [r] may
+    receive messages only from the shards listed in [in_edges.(r)].
+
+    The driver guarantees each endpoint's closures are only ever called
+    from one domain at a time, in a fixed order per round:
+    [drain; advance; promise; at_end] — and that [drain] happens after
+    the promises governing the round were read, which (producers push
+    before publishing) closes the push/promise race.
+
+    [shards = 1] never spawns: every endpoint is driven by the calling
+    domain, which is the serial reference any other width must
+    reproduce bit-for-bit. *)
+
+type endpoint = {
+  drain : unit -> unit;  (** pop every inbox message into the engine *)
+  inbox_empty : unit -> bool;
+  advance : safe_in:Sim.Time.t -> bool;  (** returns whether the clock moved *)
+  promise : safe_in:Sim.Time.t -> Sim.Time.t;  (** monotone *)
+  at_end : safe_in:Sim.Time.t -> bool;  (** ran through the horizon *)
+}
+
+type stats = {
+  shards : int;  (** worker groups actually used *)
+  rounds : int;  (** max sync rounds over the worker groups *)
+  null_messages : int;  (** promise publications that moved the bound *)
+}
+
+val run : ?shards:int -> in_edges:int list array -> endpoint array -> stats
+(** Drive every endpoint until all retire. Raises [Invalid_argument] on
+    [shards < 1] or an [in_edges] length mismatch. *)

@@ -1,0 +1,46 @@
+(* Bounded single-producer single-consumer ring.
+
+   One domain pushes, one domain pops; the indices are OCaml 5 atomics,
+   so the slot write that precedes the producer's index bump
+   happens-before the consumer's read that observes it (publication
+   safety), and symmetrically for the consumer's slot clear. Slots are
+   cleared on pop so the ring never retains a popped message. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (* next index to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next index to push; advanced by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { buf = Array.make !cap None; mask = !cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = Array.length t.buf
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head >= Array.length t.buf then false
+  else begin
+    t.buf.(tail land t.mask) <- Some v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  if head = Atomic.get t.tail then None
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let is_empty t = Atomic.get t.head = Atomic.get t.tail

@@ -1,0 +1,25 @@
+(** A bounded single-producer single-consumer channel between domains.
+
+    Exactly one domain may push and one may pop (they can be the same
+    domain — the serial shard path uses it that way). Lock-free: the
+    producer and consumer each own one atomic index; a full ring rejects
+    the push rather than blocking, leaving back-off policy to the
+    caller. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two. Raises [Invalid_argument]
+    when below 1. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full. Producer side only. *)
+
+val pop : 'a t -> 'a option
+(** [None] when empty. Consumer side only. *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side view; exact once the producers' promises rule out
+    further sends (the conservative driver's termination check). *)

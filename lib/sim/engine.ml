@@ -23,6 +23,18 @@ let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) f
 
+(* Locally scheduled events take sequence numbers 0, 1, 2, ...; events
+   merged in from another shard carry keys at or above this base, so at
+   equal time every local event of a tick sorts before foreign arrivals
+   and foreign arrivals sort by their own deterministic keys. *)
+let foreign_seq_base = 1 lsl 60
+
+let schedule_foreign t ~time ~seq f =
+  if time < t.clock then invalid_arg "Engine.schedule_foreign: time in the past";
+  if seq < foreign_seq_base then
+    invalid_arg "Engine.schedule_foreign: seq below foreign_seq_base";
+  Heap.push t.queue ~time ~seq { action = f; cancelled = false }
+
 let cancel _t handle = handle.cancelled <- true
 
 let run ?until ?(max_events = max_int) t =
@@ -50,3 +62,4 @@ let run ?until ?(max_events = max_int) t =
   | Some _ | None -> ()
 
 let pending t = Heap.size t.queue
+let next_time t = Heap.peek_time t.queue

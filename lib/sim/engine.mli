@@ -24,6 +24,24 @@ val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit
 (** Cancelling an already-run or already-cancelled event is a no-op. *)
 
+val foreign_seq_base : int
+(** Local events take sequence numbers counting up from 0; keys at or
+    above this base are reserved for {!schedule_foreign}. *)
+
+val schedule_foreign : t -> time:Time.t -> seq:int -> (unit -> unit) -> unit
+(** Schedule with an explicit sequence key instead of the engine's own
+    counter — the shard-merge entry point: events arriving from another
+    shard carry a key that is a deterministic function of their origin,
+    so the heap order (hence the execution) is independent of the domain
+    schedule that delivered them. [seq] must be at least
+    {!foreign_seq_base} (so foreign arrivals never interleave local
+    events of the same instant) and [time] must not be in the past. *)
+
+val next_time : t -> Time.t option
+(** Time of the earliest queued event (cancelled ones included), or
+    [None] when the queue is empty — the engine-side input to a
+    conservative shard's time promise. *)
+
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** Drain the event queue. [until] stops the clock at that time (events
     scheduled later remain queued); [max_events] guards against runaway

@@ -1,12 +1,23 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* Slots hold an inline record so vacated positions can be reset to [Nil]:
+   a popped entry must not linger in [store.(len)] (or in the unused tail
+   of a freshly grown array) where it would keep its closure — and any
+   packet bytes the closure captured — live until the slot is overwritten. *)
+type 'a slot = Nil | Entry of { time : int; seq : int; value : 'a }
 
-type 'a t = { mutable store : 'a entry array; mutable len : int }
+type 'a t = { mutable store : 'a slot array; mutable len : int }
 
 let create () = { store = [||]; len = 0 }
 let is_empty h = h.len = 0
 let size h = h.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let key h i =
+  match h.store.(i) with
+  | Entry e -> (e.time, e.seq)
+  | Nil -> assert false
+
+let less h i j =
+  let ti, si = key h i and tj, sj = key h j in
+  ti < tj || (ti = tj && si < sj)
 
 let swap h i j =
   let tmp = h.store.(i) in
@@ -16,7 +27,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less h.store.(i) h.store.(parent) then begin
+    if less h i parent then begin
       swap h i parent;
       sift_up h parent
     end
@@ -25,35 +36,40 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less h.store.(l) h.store.(!smallest) then smallest := l;
-  if r < h.len && less h.store.(r) h.store.(!smallest) then smallest := r;
+  if l < h.len && less h l !smallest then smallest := l;
+  if r < h.len && less h r !smallest then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h ~time ~seq value =
-  let e = { time; seq; value } in
   if h.len = Array.length h.store then begin
     let cap = max 16 (2 * h.len) in
-    let fresh = Array.make cap e in
+    let fresh = Array.make cap Nil in
     Array.blit h.store 0 fresh 0 h.len;
     h.store <- fresh
   end;
-  h.store.(h.len) <- e;
+  h.store.(h.len) <- Entry { time; seq; value };
   h.len <- h.len + 1;
   sift_up h (h.len - 1)
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.store.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.store.(0) <- h.store.(h.len);
-      sift_down h 0
-    end;
-    Some (top.time, top.seq, top.value)
+    match h.store.(0) with
+    | Nil -> assert false
+    | Entry top ->
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.store.(0) <- h.store.(h.len);
+        h.store.(h.len) <- Nil;
+        sift_down h 0
+      end
+      else h.store.(0) <- Nil;
+      Some (top.time, top.seq, top.value)
   end
 
-let peek_time h = if h.len = 0 then None else Some h.store.(0).time
+let peek_time h =
+  if h.len = 0 then None
+  else match h.store.(0) with Entry e -> Some e.time | Nil -> assert false

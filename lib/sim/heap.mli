@@ -1,7 +1,9 @@
 (** Binary min-heap keyed by [(time, sequence)].
 
     The sequence number makes event ordering total and FIFO among
-    simultaneous events, which keeps simulations deterministic. *)
+    simultaneous events, which keeps simulations deterministic. Popped
+    slots are cleared, so the heap never retains a reference to a value
+    it no longer holds. *)
 
 type 'a t
 

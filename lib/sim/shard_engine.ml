@@ -1,0 +1,102 @@
+(* A conservative (Chandy–Misra–Bryant) shard clock around {!Engine}.
+
+   The shard repeatedly advances its engine up to (but excluding) the
+   minimum time promised by its in-neighbors, then publishes its own
+   promise: a lower bound on the timestamp of any message it could still
+   emit. Two sources bound that promise:
+
+     - transmissions already scheduled toward an egress proxy, whose
+       delivery (head-arrival) times are tracked here as a multiset of
+       pending heads;
+     - anything a future event might start, which cannot reach a
+       neighbor before (earliest future event) + lookahead, where the
+       lookahead is the minimum propagation delay over the shard's
+       egress gateway links — a physical lower bound on cross-shard
+       causality.
+
+   Both bounds only ever move forward, so promises are monotone, and
+   because lookahead is strictly positive the shard holding the globally
+   minimal next event always ends up with safe-time strictly above its
+   own clock: the protocol cannot deadlock. *)
+
+type t = {
+  engine : Engine.t;
+  lookahead : Time.t;
+  (* multiset of delivery heads of in-flight transmissions toward egress
+     proxies: a heap of heads plus live-counts for lazy deletion *)
+  pending : unit Heap.t;
+  counts : (Time.t, int) Hashtbl.t;
+  mutable pseq : int;
+  mutable ran_until : Time.t;  (** -1 before the first advance *)
+  mutable promised : Time.t;
+}
+
+let create ~lookahead engine =
+  if lookahead <= 0 then invalid_arg "Shard_engine.create: lookahead must be positive";
+  {
+    engine;
+    lookahead;
+    pending = Heap.create ();
+    counts = Hashtbl.create 32;
+    pseq = 0;
+    ran_until = -1;
+    promised = 0;
+  }
+
+let engine t = t.engine
+let ran_until t = t.ran_until
+
+let note_outbound t ~head =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.counts head) in
+  Hashtbl.replace t.counts head (n + 1);
+  if n = 0 then begin
+    Heap.push t.pending ~time:head ~seq:t.pseq ();
+    t.pseq <- t.pseq + 1
+  end
+
+let outbound_sent t ~head =
+  match Hashtbl.find_opt t.counts head with
+  | Some n when n > 1 -> Hashtbl.replace t.counts head (n - 1)
+  | Some _ -> Hashtbl.remove t.counts head
+  | None -> invalid_arg "Shard_engine.outbound_sent: head was never noted"
+
+(* Minimum still-live pending head. Entries whose count dropped to zero
+   are lazily discarded, as are heads at or below the engine clock whose
+   delivery never fired — those belong to transmissions cancelled by
+   preemption or a node crash, and must not pin the promise in the past. *)
+let rec min_pending t =
+  match Heap.peek_time t.pending with
+  | None -> max_int
+  | Some head ->
+    let live = Hashtbl.mem t.counts head in
+    if live && head > Engine.now t.engine then head
+    else begin
+      ignore (Heap.pop t.pending);
+      if live then Hashtbl.remove t.counts head;
+      min_pending t
+    end
+
+let promise t ~safe_in =
+  let next_local =
+    match Engine.next_time t.engine with Some time -> time | None -> max_int
+  in
+  let earliest_cause = min next_local safe_in in
+  let via_lookahead =
+    if earliest_cause >= max_int - t.lookahead then max_int
+    else earliest_cause + t.lookahead
+  in
+  let p = min (min_pending t) via_lookahead in
+  (* monotone by construction; the max is a guard, not a correction *)
+  t.promised <- max t.promised p;
+  t.promised
+
+let advance t ~safe_in ~until =
+  let target = if safe_in > until then until else safe_in - 1 in
+  if target <= t.ran_until then false
+  else begin
+    Engine.run ~until:target t.engine;
+    t.ran_until <- target;
+    true
+  end
+
+let finished t ~safe_in ~until = t.ran_until >= until && safe_in > until

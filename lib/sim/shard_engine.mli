@@ -1,0 +1,55 @@
+(** A conservative (Chandy–Misra–Bryant) shard clock around {!Engine}.
+
+    One shard of a region-partitioned simulation owns one engine. Each
+    sync round the driver reads the minimum time promised by the shard's
+    in-neighbors ([safe_in]), calls {!advance} to execute every event
+    strictly below it, then publishes {!promise} — a lower bound on the
+    timestamp of any message this shard could still send:
+
+    {v promise = min( min pending outbound delivery head,
+                      min(next local event, safe_in) + lookahead ) v}
+
+    The [lookahead] is the minimum propagation delay over the shard's
+    egress gateway links: no event at time [s] can make a frame arrive at
+    a neighbor before [s + lookahead], because the frame must cross a
+    gateway link. Transmissions already in flight toward a gateway are
+    promised exactly, via the pending-head multiset maintained with
+    {!note_outbound} / {!outbound_sent}.
+
+    Promises are monotone non-decreasing and, because [lookahead] is
+    strictly positive, always strictly above the shard's own clock — so
+    the shard holding the globally earliest event is always allowed to
+    run it, and the protocol cannot deadlock. *)
+
+type t
+
+val create : lookahead:Time.t -> Engine.t -> t
+(** Raises [Invalid_argument] if [lookahead <= 0]: a zero-latency
+    gateway link gives a zero lookahead, under which null messages make
+    no progress — the partitioner refuses such topologies instead. *)
+
+val engine : t -> Engine.t
+
+val ran_until : t -> Time.t
+(** Highest time the engine has been advanced through; -1 initially. *)
+
+val note_outbound : t -> head:Time.t -> unit
+(** A transmission whose delivery arrives at an egress proxy at [head]
+    was scheduled (wired to the world's departure tap). *)
+
+val outbound_sent : t -> head:Time.t -> unit
+(** The delivery at [head] fired and its message was handed to the
+    channel. Heads that never fire (transmission aborted by preemption
+    or a crash) are discarded lazily once the clock passes them. *)
+
+val promise : t -> safe_in:Time.t -> Time.t
+(** Publishable lower bound on this shard's future sends; monotone. *)
+
+val advance : t -> safe_in:Time.t -> until:Time.t -> bool
+(** Run events with time < [safe_in], capped at (and inclusive of)
+    [until] once [safe_in] exceeds it — matching the serial semantics of
+    [Engine.run ~until]. Returns whether the horizon moved. *)
+
+val finished : t -> safe_in:Time.t -> until:Time.t -> bool
+(** The shard ran through [until] and no in-neighbor can send anything
+    at or below it. *)

@@ -173,6 +173,47 @@ let complete c ~now =
     commit c ~now ~store:c.is_sampled
   end
 
+(* Cross-shard handoff: a packet leaving a region-sharded world carries
+   its accumulated spans as plain data; the receiving region rebuilds a
+   context in its own recorder. The source context is marked finished
+   without counting a completion or drop — whatever happens to the
+   packet is accounted exactly once, by the importing side. *)
+
+type carried = {
+  carried_injected_at : Sim.Time.t;
+  carried_sampled : bool;
+  carried_rev_spans : span list;
+  carried_token : token_check;
+}
+
+let export c =
+  c.finished <- true;
+  {
+    carried_injected_at = c.injected_at;
+    carried_sampled = c.is_sampled;
+    carried_rev_spans = c.rev_spans;
+    carried_token = c.token_note;
+  }
+
+let import t carried =
+  if not (enabled t) then None
+  else if (not carried.carried_sampled) && not t.policy.capture_drops then None
+  else begin
+    t.next_id <- t.next_id + 1;
+    if carried.carried_sampled then t.sampled_ctxs <- t.sampled_ctxs + 1;
+    Some
+      {
+        recorder = t;
+        packet_id = t.next_id;
+        injected_at = carried.carried_injected_at;
+        is_sampled = carried.carried_sampled;
+        rev_spans = carried.carried_rev_spans;
+        token_note = carried.carried_token;
+        drop_reason = None;
+        finished = false;
+      }
+  end
+
 let flights t =
   let cap = Array.length t.ring in
   let n = min t.stored cap in

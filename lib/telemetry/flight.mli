@@ -86,6 +86,31 @@ val drop : ctx -> node:int -> in_port:int -> now:Sim.Time.t -> reason:string -> 
 val complete : ctx -> now:Sim.Time.t -> unit
 (** Final delivery. Commits the flight to the ring when sampled. *)
 
+(** {1 Cross-shard handoff}
+
+    A region-sharded world serializes a departing packet's context into
+    plain data and rebuilds it in the destination region's recorder, so
+    spans keep accumulating across the gateway and the flight is
+    committed exactly once (by whichever recorder sees the packet
+    finish). *)
+
+type carried = {
+  carried_injected_at : Sim.Time.t;
+  carried_sampled : bool;
+  carried_rev_spans : span list;  (** newest first, as accumulated *)
+  carried_token : token_check;
+}
+
+val export : ctx -> carried
+(** Snapshot for the channel. Marks the source context finished without
+    counting a completion or a drop — the importing side owns the
+    packet's fate from here. *)
+
+val import : t -> carried -> ctx option
+(** Rebuild the context in this recorder (fresh local packet id, same
+    sampling decision). [None] when this recorder is disabled or would
+    not have retained the context — mirroring {!start}. *)
+
 (** {1 Consuming} *)
 
 val flights : t -> flight list

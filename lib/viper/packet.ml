@@ -88,9 +88,16 @@ let strip_leading bytes =
 
 let parse_leading bytes = wrap strip_leading bytes
 
+let strip_leading_pos bytes =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let seg = Segment.read r in
+  (seg, Wire.Buf.position r)
+
+let parse_leading_pos bytes = wrap strip_leading_pos bytes
+
 let forward bytes ~return_seg =
-  let seg, rest = strip_leading bytes in
-  (seg, Trailer.append_hop rest return_seg)
+  let seg, pos = strip_leading_pos bytes in
+  (seg, Trailer.append_hop_sub bytes ~pos return_seg)
 
 let truncate_to bytes ~max =
   if max < 0 then invalid_arg "Packet.truncate_to";

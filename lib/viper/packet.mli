@@ -47,6 +47,12 @@ val parse : bytes -> (t, error) result
 val parse_leading : bytes -> (Segment.t * bytes, error) result
 (** Like {!strip_leading}, but never raises. *)
 
+val parse_leading_pos : bytes -> (Segment.t * int, error) result
+(** Like {!parse_leading}, but returns the offset where the remainder
+    starts instead of copying it out — pair with
+    {!Trailer.append_hop_sub} for the zero-intermediate-copy per-hop
+    path. *)
+
 val return_route_r : t -> (Segment.t list, error) result
 (** Like {!return_route}, but never raises: a truncated packet yields
     [Error] — a damaged trailer must never become a bogus route. *)

@@ -50,6 +50,14 @@ val append_hop : bytes -> Segment.t -> bytes
 (** [append_hop packet seg] is the packet with [seg] moved onto the end of
     the trailer and the total updated — the per-router loopback operation. *)
 
+val append_hop_sub : bytes -> pos:int -> Segment.t -> bytes
+(** [append_hop_sub packet ~pos seg] is byte-identical (including the
+    exceptions raised and their order) to
+    [append_hop (Bytes.sub packet pos (Bytes.length packet - pos)) seg],
+    but performs the strip-and-append in a single sized allocation with
+    two blits — the per-hop fast path, which would otherwise copy the
+    packet twice per router. *)
+
 val append_truncation_marker : bytes -> bytes
 
 val max_entry : int

@@ -1,0 +1,341 @@
+(* Intra-world multicore: partitioner invariants, the conservative shard
+   clock, and the headline guarantee — the same region-sharded cluster
+   produces bit-identical merged telemetry at --shards 1 (which never
+   spawns) and --shards 4. *)
+
+module G = Topo.Graph
+module W = Netsim.World
+module P = Netsim.Partition
+module S = Netsim.Shard
+module SE = Sim.Shard_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let local_props =
+  { G.bandwidth_bps = 10_000_000; propagation = Sim.Time.us 5; mtu = 1500 }
+
+let trunk_props =
+  { G.bandwidth_bps = 45_000_000; propagation = Sim.Time.ms 1; mtu = 1500 }
+
+(* A [regions]-region internetwork: per region one gateway router and a
+   few hosts on local links, gateways joined in a wide-area ring. Names
+   carry the region key, as Partition.by_name expects. *)
+let build ~regions ~hosts_per_region =
+  let g = G.create () in
+  let gws =
+    Array.init regions (fun r ->
+        G.add_node g ~name:(Printf.sprintf "gw.region%d" r) G.Router)
+  in
+  let hosts =
+    Array.init regions (fun r ->
+        Array.init hosts_per_region (fun i ->
+            G.add_node g ~name:(Printf.sprintf "h%d.region%d" i r) G.Host))
+  in
+  Array.iteri
+    (fun r hs -> Array.iter (fun h -> ignore (G.connect g gws.(r) h local_props)) hs)
+    hosts;
+  for r = 0 to regions - 1 do
+    ignore (G.connect g gws.(r) gws.((r + 1) mod regions) trunk_props)
+  done;
+  (g, gws, hosts)
+
+let split_exn g =
+  let region =
+    match P.by_name g with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "by_name: %s" (Format.asprintf "%a" P.pp_error e)
+  in
+  match P.split g ~region with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "split: %s" (Format.asprintf "%a" P.pp_error e)
+
+(* ---- partitioner ---- *)
+
+let partition_covers_nodes () =
+  let g, _, _ = build ~regions:4 ~hosts_per_region:2 in
+  let p = split_exn g in
+  check_int "regions" 4 p.P.regions;
+  check_int "one region per node" (G.node_count g) (Array.length p.P.region_of);
+  Array.iter (fun r -> check_bool "region in range" true (r >= 0 && r < 4)) p.P.region_of;
+  (* every subgraph re-creates every node with the same id, name, kind *)
+  Array.iter
+    (fun sub ->
+      check_bool "subgraph holds all nodes" true (G.node_count sub >= G.node_count g);
+      G.iter_nodes g (fun id ->
+          check_bool "same name" true (G.name sub id = G.name g id);
+          check_bool "same kind" true (G.kind sub id = G.kind g id)))
+    p.P.graphs
+
+let partition_gateways_are_only_cross_edges () =
+  let g, _, _ = build ~regions:4 ~hosts_per_region:2 in
+  let p = split_exn g in
+  (* the ring's 4 trunks are exactly the cross-region edges *)
+  check_int "gateway count" 4 (Array.length p.P.gateways);
+  Array.iter
+    (fun gw ->
+      let l = gw.P.gw_link in
+      check_bool "crosses regions" true (gw.P.a_region <> gw.P.b_region);
+      check_int "a side region" gw.P.a_region p.P.region_of.(l.G.a);
+      check_int "b side region" gw.P.b_region p.P.region_of.(l.G.b))
+    p.P.gateways;
+  (* inside each subgraph, every link either joins two nodes of that
+     region or touches a proxy stub (id >= full node count) *)
+  let n = G.node_count g in
+  Array.iteri
+    (fun r sub ->
+      List.iter
+        (fun (l : G.link) ->
+          let proxy = l.G.a >= n || l.G.b >= n in
+          if not proxy then begin
+            check_int "internal link stays home (a)" r p.P.region_of.(l.G.a);
+            check_int "internal link stays home (b)" r p.P.region_of.(l.G.b)
+          end)
+        (G.links sub))
+    p.P.graphs;
+  (* link conservation: each internal link appears in exactly one
+     subgraph; each gateway appears as one proxy link on each side *)
+  let internal =
+    List.length
+      (List.filter
+         (fun (l : G.link) -> p.P.region_of.(l.G.a) = p.P.region_of.(l.G.b))
+         (G.links g))
+  in
+  let total = Array.fold_left (fun acc sub -> acc + List.length (G.links sub)) 0 p.P.graphs in
+  check_int "links conserved" (internal + (2 * Array.length p.P.gateways)) total;
+  (* lookahead: min incident gateway propagation, here the ring delay *)
+  Array.iter (fun la -> check_int "lookahead" trunk_props.G.propagation la) p.P.lookahead
+
+let partition_preserves_ports () =
+  let g, _, _ = build ~regions:3 ~hosts_per_region:3 in
+  let p = split_exn g in
+  List.iter
+    (fun (l : G.link) ->
+      let r = p.P.region_of.(l.G.a) in
+      (* the a-side node's ports in its home subgraph mirror the full
+         graph: same port leads to a link with the same id or a proxy *)
+      match G.link_via p.P.graphs.(r) l.G.a l.G.a_port with
+      | None -> Alcotest.failf "port %d of node %d lost" l.G.a_port l.G.a
+      | Some sub_l ->
+        check_bool "same props" true (sub_l.G.props = l.G.props);
+        let peer_node, peer_port = G.peer sub_l l.G.a in
+        if p.P.region_of.(l.G.a) = p.P.region_of.(l.G.b) then begin
+          check_int "same peer" l.G.b peer_node;
+          check_int "same peer port" l.G.b_port peer_port
+        end
+        else
+          (* cross-region: the replica ends at a proxy stub *)
+          check_bool "proxy peer" true (peer_node >= G.node_count g))
+    (G.links g)
+
+let partition_refuses_zero_latency () =
+  let g = G.create () in
+  let a = G.add_node g ~name:"gw.region0" G.Router in
+  let b = G.add_node g ~name:"gw.region1" G.Router in
+  ignore (G.connect g a b { local_props with G.propagation = 0 });
+  let region = match P.by_name g with Ok f -> f | Error _ -> Alcotest.fail "by_name" in
+  match P.split g ~region with
+  | Error (P.Zero_latency_gateway _) -> ()
+  | Ok _ -> Alcotest.fail "zero-latency gateway must refuse to partition"
+  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" P.pp_error e)
+
+let partition_by_name_requires_key () =
+  let g = G.create () in
+  let _ = G.add_node g ~name:"plain" G.Host in
+  match P.by_name g with
+  | Error (P.Bad_region _) -> ()
+  | Ok _ -> Alcotest.fail "names without a region key must be rejected"
+  | Error _ -> Alcotest.fail "wrong error"
+
+(* ---- shard clock ---- *)
+
+let shard_engine_promise_shapes () =
+  (* idle shard: promise = safe_in + lookahead *)
+  let c = SE.create ~lookahead:100 (Sim.Engine.create ()) in
+  check_int "idle" 600 (SE.promise c ~safe_in:500);
+  check_int "monotone under lower safe_in" 600 (SE.promise c ~safe_in:100);
+  (* a local event caps the cause *)
+  let e = Sim.Engine.create () in
+  let c = SE.create ~lookahead:100 e in
+  ignore (Sim.Engine.schedule_at e ~time:50 (fun () -> ()));
+  check_int "next local + lookahead" 150 (SE.promise c ~safe_in:max_int);
+  (* a pending outbound head is promised exactly *)
+  let c = SE.create ~lookahead:1000 (Sim.Engine.create ()) in
+  SE.note_outbound c ~head:300;
+  check_int "pending head wins" 300 (SE.promise c ~safe_in:max_int);
+  SE.outbound_sent c ~head:300;
+  check_int "released" max_int (SE.promise c ~safe_in:max_int)
+
+let shard_engine_prunes_cancelled_heads () =
+  let e = Sim.Engine.create () in
+  let c = SE.create ~lookahead:10 e in
+  (* a transmission toward the gateway is noted, then cancelled: its
+     delivery never fires, so outbound_sent is never called *)
+  SE.note_outbound c ~head:30;
+  ignore (Sim.Engine.schedule_at e ~time:60 (fun () -> ()));
+  check_int "still pins while future" 30 (SE.promise c ~safe_in:max_int);
+  (* once the clock passes the head without it firing, it is dead: the
+     promise falls back to min(next local 60, safe 50) + lookahead 10 *)
+  check_bool "advances" true (SE.advance c ~safe_in:50 ~until:100);
+  check_int "pruned" 60 (SE.promise c ~safe_in:50)
+
+let shard_engine_advance_caps_at_until () =
+  let e = Sim.Engine.create () in
+  let c = SE.create ~lookahead:10 e in
+  let fired = ref [] in
+  List.iter
+    (fun tm -> ignore (Sim.Engine.schedule_at e ~time:tm (fun () -> fired := tm :: !fired)))
+    [ 10; 20; 90; 150 ];
+  ignore (SE.advance c ~safe_in:25 ~until:100);
+  Alcotest.(check (list int)) "below safe only" [ 20; 10 ] !fired;
+  check_bool "not finished" false (SE.finished c ~safe_in:25 ~until:100);
+  ignore (SE.advance c ~safe_in:max_int ~until:100);
+  Alcotest.(check (list int)) "through until, not past" [ 90; 20; 10 ] !fired;
+  check_bool "finished" true (SE.finished c ~safe_in:max_int ~until:100)
+
+(* ---- full cluster determinism ---- *)
+
+type cluster_run = {
+  stats : S.stats;
+  rows : Telemetry.Registry.row list;
+  events : (Sim.Time.t * Telemetry.Events.event) list;
+  flights : Telemetry.Flight.flight list;
+  received : int;
+}
+
+(* Build the 4-region ring, install a Sirpent router per gateway and a
+   host endpoint per host, and drive periodic traffic: every region's
+   host 0 pings the next region's host 0 (two gateway crossings per
+   round trip), host 1 exercises purely local forwarding. Receivers
+   reply along the trailer-built return route, so the return path also
+   crosses the gateways. *)
+let run_cluster ~shards ~until =
+  let regions = 4 and hosts_per_region = 2 in
+  let g, gws, hosts = build ~regions ~hosts_per_region in
+  let p = split_exn g in
+  let cluster = S.create p in
+  for r = 0 to S.regions cluster - 1 do
+    Telemetry.Flight.set_policy
+      (W.flight (S.world cluster r))
+      { Telemetry.Flight.sample_every = 1; capture_drops = true; capacity = 4096 }
+  done;
+  Array.iteri
+    (fun r gw -> ignore (Sirpent.Router.create (S.world cluster r) ~node:gw ()))
+    gws;
+  let received = ref 0 in
+  let endpoints = Hashtbl.create 16 in
+  Array.iteri
+    (fun r hs ->
+      Array.iter
+        (fun h ->
+          let ht = Sirpent.Host.create (S.world cluster r) ~node:h in
+          Sirpent.Host.set_receive ht (fun ht ~packet ~in_port ->
+              incr received;
+              (* pings get a pong back along the reconstructed return
+                 route; pongs terminate *)
+              if Bytes.length packet.Viper.Packet.data > 0
+                 && Bytes.get packet.Viper.Packet.data 0 = 'p'
+              then
+                ignore
+                  (Sirpent.Host.reply ht ~to_packet:packet ~in_port
+                     ~data:(Bytes.of_string "q-pong") ()));
+          Hashtbl.replace endpoints h ht)
+        hs)
+    hosts;
+  let metric (_ : G.link) = 1.0 in
+  let route src dst =
+    Sirpent.Route.of_hops g ~src
+      (Option.get (G.shortest_path g ~metric ~src ~dst))
+  in
+  Array.iteri
+    (fun r hs ->
+      let e = S.engine cluster r in
+      let cross = route hs.(0) hosts.((r + 1) mod regions).(0) in
+      let local = route hs.(1) hs.(0) in
+      for k = 0 to 9 do
+        let time = Sim.Time.ms 1 + (k * Sim.Time.ms 2) + (r * Sim.Time.us 100) in
+        ignore
+          (Sim.Engine.schedule_at e ~time (fun () ->
+               let src = Hashtbl.find endpoints hs.(0) in
+               ignore
+                 (Sirpent.Host.send src ~route:cross
+                    ~data:(Bytes.of_string (Printf.sprintf "ping-%d-%d" r k))
+                    ())));
+        ignore
+          (Sim.Engine.schedule_at e ~time:(time + Sim.Time.us 500) (fun () ->
+               let src = Hashtbl.find endpoints hs.(1) in
+               ignore
+                 (Sirpent.Host.send src ~route:local
+                    ~data:(Bytes.of_string (Printf.sprintf "ping-l-%d-%d" r k))
+                    ())))
+      done)
+    hosts;
+  let stats = S.run ~shards ~until cluster in
+  {
+    stats;
+    rows = S.merged_rows cluster;
+    events = S.merged_events cluster;
+    flights = S.merged_flights cluster;
+    received = !received;
+  }
+
+let until = Sim.Time.ms 80
+
+let cluster_traffic_flows () =
+  let r = run_cluster ~shards:1 ~until in
+  check_int "one worker" 1 r.stats.S.shards;
+  check_int "four regions" 4 r.stats.S.regions;
+  check_bool "pings arrived" true (r.received > 0);
+  check_bool "gateways crossed" true (r.stats.S.cross_frames > 0);
+  check_bool "null messages flowed" true (r.stats.S.null_messages > 0);
+  (* 4 regions x 10 pings, each delivered then answered, plus 10 local
+     pings per region also answered: all 160 packets arrive *)
+  check_int "every packet delivered" 160 r.received
+
+let cluster_is_deterministic () =
+  let serial = run_cluster ~shards:1 ~until in
+  let wide = run_cluster ~shards:4 ~until in
+  check_int "workers actually used" 4 wide.stats.S.shards;
+  check_int "same deliveries" serial.received wide.received;
+  check_int "same crossings" serial.stats.S.cross_frames wide.stats.S.cross_frames;
+  check_bool "rows bit-identical" true (serial.rows = wide.rows);
+  check_bool "events bit-identical" true (serial.events = wide.events);
+  check_bool "flights bit-identical" true (serial.flights = wide.flights)
+
+let cluster_odd_width_deterministic () =
+  let serial = run_cluster ~shards:1 ~until in
+  let odd = run_cluster ~shards:3 ~until in
+  check_bool "rows bit-identical" true (serial.rows = odd.rows);
+  check_bool "events bit-identical" true (serial.events = odd.events);
+  check_bool "flights bit-identical" true (serial.flights = odd.flights)
+
+let () =
+  Alcotest.run "intra_world"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "covers every node" `Quick partition_covers_nodes;
+          Alcotest.test_case "gateways are the only cross edges" `Quick
+            partition_gateways_are_only_cross_edges;
+          Alcotest.test_case "ports preserved" `Quick partition_preserves_ports;
+          Alcotest.test_case "zero-latency gateway refused" `Quick
+            partition_refuses_zero_latency;
+          Alcotest.test_case "by_name requires a region key" `Quick
+            partition_by_name_requires_key;
+        ] );
+      ( "shard clock",
+        [
+          Alcotest.test_case "promise shapes" `Quick shard_engine_promise_shapes;
+          Alcotest.test_case "cancelled heads pruned" `Quick
+            shard_engine_prunes_cancelled_heads;
+          Alcotest.test_case "advance caps at until" `Quick
+            shard_engine_advance_caps_at_until;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "traffic flows" `Quick cluster_traffic_flows;
+          Alcotest.test_case "shards 1 = shards 4" `Quick cluster_is_deterministic;
+          Alcotest.test_case "shards 1 = shards 3" `Quick
+            cluster_odd_width_deterministic;
+        ] );
+    ]
