@@ -1,7 +1,8 @@
 (* CI perf-regression gate: compare a smoke-run BENCH_<exp>.json against
    its committed baseline in bench/baselines/.
 
-     check_regression.exe [--tolerance 0.25] [--min-speedup X] BASELINE CURRENT
+     check_regression.exe [--tolerance 0.25] [--min-speedup X]
+                          [--min-ratio KEY X]... BASELINE CURRENT
 
    The simulations are deterministic (seeded RNG streams, virtual time),
    so the guarded numbers are exactly reproducible on any machine; the
@@ -205,7 +206,11 @@ let has_prefix k pre =
    ns_per_packet, wall_clock_s, ...) deliberately match none of these. *)
 let is_lower_better_key k =
   has_suffix k "_ms" || has_suffix k "_us" || has_prefix k "latency"
-  || List.mem k [ "route_hops"; "viper_header_bytes"; "sirpent_state_ports" ]
+  || List.mem k
+       [
+         "route_hops"; "viper_header_bytes"; "sirpent_state_ports";
+         "cache_entries"; "cache_entries_10q";
+       ]
 
 type verdict = { mutable checked : int; mutable failures : string list }
 
@@ -263,23 +268,28 @@ let read_file file =
 (* [--min-speedup]: the current run's top-level speedup_vs_serial must
    reach the floor. Checked on CURRENT only — wall clock is
    machine-dependent, so the committed baseline's value is irrelevant. *)
-let check_min_speedup v ~floor cur =
+(* [--min-ratio KEY X] (repeatable): the current run's top-level KEY must
+   be a number of at least X. Like --min-speedup, checked on CURRENT only
+   — these are floors on machine-local measurements (speedups, hit
+   ratios), not baseline comparisons. *)
+let check_min_ratio v ~key ~floor cur =
   v.checked <- v.checked + 1;
   match cur with
   | Obj fields -> (
-    match List.assoc_opt "speedup_vs_serial" fields with
+    match List.assoc_opt key fields with
     | Some (Num s) ->
-      if s < floor then
-        fail_check v "$.speedup_vs_serial: %g below required minimum %g" s floor
-    | Some _ -> fail_check v "$.speedup_vs_serial: not a number"
+      if s < floor then fail_check v "$.%s: %g below required minimum %g" key s floor
+    | Some _ -> fail_check v "$.%s: not a number" key
     | None ->
-      fail_check v
-        "$.speedup_vs_serial: missing from current file (required by --min-speedup)")
-  | _ -> fail_check v "--min-speedup: current file is not a JSON object"
+      fail_check v "$.%s: missing from current file (required by --min-ratio)" key)
+  | _ -> fail_check v "--min-ratio: current file is not a JSON object"
+
+let check_min_speedup v ~floor cur = check_min_ratio v ~key:"speedup_vs_serial" ~floor cur
 
 let () =
   let tolerance = ref 0.25 in
   let min_speedup = ref None in
+  let min_ratios = ref [] in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -295,6 +305,13 @@ let () =
       | Some f when f >= 0.0 -> min_speedup := Some f
       | _ ->
         prerr_endline "--min-speedup expects a non-negative float";
+        exit 2);
+      parse_args rest
+    | "--min-ratio" :: key :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some f -> min_ratios := (key, f) :: !min_ratios
+      | None ->
+        prerr_endline "--min-ratio expects KEY FLOAT";
         exit 2);
       parse_args rest
     | a :: rest ->
@@ -321,6 +338,7 @@ let () =
     (match !min_speedup with
     | Some floor -> check_min_speedup v ~floor cur
     | None -> ());
+    List.iter (fun (key, floor) -> check_min_ratio v ~key ~floor cur) (List.rev !min_ratios);
     if v.failures = [] then begin
       Printf.printf "check_regression: %s vs %s: %d guarded values ok (tolerance %.0f%%)\n"
         baseline_file current_file v.checked (!tolerance *. 100.0);
@@ -337,5 +355,5 @@ let () =
     end
   | _ ->
     prerr_endline
-      "usage: check_regression [--tolerance 0.25] [--min-speedup X] BASELINE CURRENT";
+      "usage: check_regression [--tolerance 0.25] [--min-speedup X] [--min-ratio KEY X]... BASELINE CURRENT";
     exit 2

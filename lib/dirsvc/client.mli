@@ -5,14 +5,20 @@
     A cache miss pays the hierarchy-resolution latency
     ({!Directory.query_latency}); a hit answers after a negligible local
     delay. Stale routes are evicted by TTL or explicitly when the client
-    detects failure in use. *)
+    detects failure in use; the cache is bounded — inserting past the cap
+    sweeps expired entries (and, if none, evicts the entry closest to
+    expiry), so a client touching many distinct names stays O(cap). *)
 
 type t
 
 val create :
-  ?cache_ttl:Sim.Time.t -> Sim.Engine.t -> Directory.t ->
+  ?cache_ttl:Sim.Time.t -> ?cache_cap:int ->
+  ?telemetry:Telemetry.Registry.t -> Sim.Engine.t -> Directory.t ->
   node:Topo.Graph.node_id -> t
-(** [cache_ttl] default 10 s. *)
+(** [cache_ttl] default 10 s; [cache_cap] default 512 entries (0 or less
+    disables the bound). [telemetry] registers
+    [dirsvc_client_{hits,misses}] — labelled with the client's node id —
+    on an existing registry; by default they live on a private one. *)
 
 val routes :
   t -> target:Name.t -> ?selector:Directory.selector -> ?k:int ->
@@ -24,5 +30,8 @@ val invalidate : t -> target:Name.t -> unit
 (** On-use stale detection: drop any cached answer for this name so the
     next request re-queries. *)
 
+val cached_entries : t -> int
+
 val hits : t -> int
 val misses : t -> int
+(** Counter accessors mirroring the [dirsvc_client_*] metrics. *)

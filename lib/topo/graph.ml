@@ -30,10 +30,22 @@ type t = {
   mutable next_link : int;
   mutable all_links : link list;
   by_name : (string, node_id) Hashtbl.t;
+  mutable version : int;
+      (* bumped on every link attach/detach so route caches (e.g. the
+         directory's memoized shortest-path trees) can validate in O(1) *)
 }
 
 let create () =
-  { nodes = [||]; n = 0; next_link = 0; all_links = []; by_name = Hashtbl.create 64 }
+  {
+    nodes = [||];
+    n = 0;
+    next_link = 0;
+    all_links = [];
+    by_name = Hashtbl.create 64;
+    version = 0;
+  }
+
+let version g = g.version
 
 let max_ports = 255
 
@@ -80,12 +92,14 @@ let connect g a b props =
   Hashtbl.replace na.ports pa link;
   Hashtbl.replace nb.ports pb link;
   g.all_links <- link :: g.all_links;
+  g.version <- g.version + 1;
   (pa, pb)
 
 let disconnect g link =
   Hashtbl.remove (get g link.a).ports link.a_port;
   Hashtbl.remove (get g link.b).ports link.b_port;
-  g.all_links <- List.filter (fun l -> l.link_id <> link.link_id) g.all_links
+  g.all_links <- List.filter (fun l -> l.link_id <> link.link_id) g.all_links;
+  g.version <- g.version + 1
 
 (* Re-attach a previously disconnected link on its original ports. A link
    that was never disconnected (or whose ports were since reused) is left
@@ -98,7 +112,8 @@ let reconnect g link =
     Hashtbl.replace na.ports link.a_port link;
     Hashtbl.replace nb.ports link.b_port link;
     if not (List.exists (fun l -> l.link_id = link.link_id) g.all_links) then
-      g.all_links <- link :: g.all_links
+      g.all_links <- link :: g.all_links;
+    g.version <- g.version + 1
   end
 
 let link_via g id p = Hashtbl.find_opt (get g id).ports p
@@ -192,6 +207,76 @@ let shortest_path_excluding g ~metric ~src ~dst ~banned_links ~banned_nodes =
 let shortest_path g ~metric ~src ~dst =
   if src = dst then Some []
   else shortest_path_excluding g ~metric ~src ~dst ~banned_links:[] ~banned_nodes:[]
+
+(* Single-source shortest-path tree: the same Dijkstra as
+   [shortest_path_excluding] (same heap keys, same relaxation order over the
+   same port tables) run to completion instead of stopping at one
+   destination, so [spt_path] extracts, for every destination, hop lists
+   bit-identical to what a per-destination [shortest_path] would return.
+   This is what makes directory SPT memoization answer-preserving. *)
+type spt = {
+  spt_src : node_id;
+  spt_prev : (node_id * port) option array;
+  spt_dist : float array;
+}
+
+let shortest_path_tree g ~metric ~src =
+  let n = g.n in
+  let dist = Array.make n infinity in
+  let prev = Array.make n None in
+  let visited = Array.make n false in
+  let heap = Sim.Heap.create () in
+  let seq = ref 0 in
+  let push cost v =
+    Sim.Heap.push heap ~time:(int_of_float (cost *. 1e6)) ~seq:!seq (cost, v);
+    incr seq
+  in
+  dist.(src) <- 0.0;
+  push 0.0 src;
+  let finished = ref false in
+  while not !finished do
+    match Sim.Heap.pop heap with
+    | None -> finished := true
+    | Some (_, _, (cost, u)) ->
+      if (not visited.(u)) && cost <= dist.(u) then begin
+        visited.(u) <- true;
+        Hashtbl.iter
+          (fun p l ->
+            let v, _ = peer l u in
+            if not visited.(v) then begin
+              let w = metric l in
+              if w <= 0.0 then invalid_arg "Graph: metric must be positive";
+              let alt = dist.(u) +. w in
+              if alt < dist.(v) then begin
+                dist.(v) <- alt;
+                prev.(v) <- Some (u, p);
+                push alt v
+              end
+            end)
+          (get g u).ports
+      end
+  done;
+  { spt_src = src; spt_prev = prev; spt_dist = dist }
+
+let spt_src spt = spt.spt_src
+
+let spt_path spt ~dst =
+  if dst = spt.spt_src then Some []
+  else if dst < 0 || dst >= Array.length spt.spt_dist then None
+  else if spt.spt_dist.(dst) = infinity then None
+  else begin
+    let rec build v acc =
+      match spt.spt_prev.(v) with
+      | None -> acc
+      | Some (u, p) -> build u ({ at = u; out = p } :: acc)
+    in
+    Some (build dst [])
+  end
+
+let spt_dist spt ~dst =
+  if dst = spt.spt_src then 0.0
+  else if dst < 0 || dst >= Array.length spt.spt_dist then infinity
+  else spt.spt_dist.(dst)
 
 let path_cost g ~metric hops =
   List.fold_left
@@ -359,6 +444,54 @@ let hierarchical_switch ?(props = default_props) g ~leaves =
   in
   let leaf_list = grow [ root ] leaves in
   (root, Array.of_list leaf_list)
+
+let hierarchical_internet ~rng ?(branching = 8) ?(depth = 3) ~hosts () =
+  if branching < 2 || branching > 250 then
+    invalid_arg "Graph.hierarchical_internet: branching must be in [2, 250]";
+  if depth < 1 then invalid_arg "Graph.hierarchical_internet: depth must be >= 1";
+  if hosts < 1 then invalid_arg "Graph.hierarchical_internet: hosts must be >= 1";
+  let leaves = int_of_float (float_of_int branching ** float_of_int depth) in
+  let per_leaf = ((hosts - 1) / leaves) + 1 in
+  if per_leaf > 250 then
+    invalid_arg
+      "Graph.hierarchical_internet: too many hosts per leaf region (VIPER's \
+       255-port limit); increase branching or depth";
+  let g = create () in
+  let trunk level =
+    (* faster, longer links toward the top of the hierarchy *)
+    {
+      bandwidth_bps = (if level = 0 then 100_000_000 else 45_000_000);
+      propagation = Sim.Time.us (50 + (100 * (depth - level)) + Sim.Rng.int rng 450);
+      mtu = 1500;
+    }
+  in
+  let local = { default_props with propagation = Sim.Time.us 5 } in
+  let root = add_node g ~name:"top" Router in
+  (* depth levels of [branching]-ary region routers below the root; node
+     names spell the region path, so a registered name's components mirror
+     the topology exactly as §3 prescribes. *)
+  let rec grow parent pname level acc =
+    if level = depth then (parent, pname) :: acc
+    else begin
+      let acc = ref acc in
+      for i = branching - 1 downto 0 do
+        let cname = Printf.sprintf "%s.r%d" pname i in
+        let child = add_node g ~name:cname Router in
+        ignore (connect g parent child (trunk level));
+        acc := grow child cname (level + 1) !acc
+      done;
+      !acc
+    end
+  in
+  let leaf_regions = Array.of_list (grow root "top" 0 []) in
+  let host_ids =
+    Array.init hosts (fun i ->
+        let leaf, lname = leaf_regions.(i mod Array.length leaf_regions) in
+        let h = add_node g ~name:(Printf.sprintf "%s.h%d" lname i) Host in
+        ignore (connect g leaf h local);
+        h)
+  in
+  (g, Array.map fst leaf_regions, host_ids)
 
 let campus_internet ~rng ~campuses ~hosts_per_campus =
   if campuses < 2 then invalid_arg "Graph.campus_internet";

@@ -70,6 +70,12 @@ val degree : t -> node_id -> int
 val links : t -> link list
 val iter_nodes : t -> (node_id -> unit) -> unit
 
+val version : t -> int
+(** Monotone topology version: bumped by every {!connect}, {!disconnect}
+    and effective {!reconnect}. Route caches key their entries on it to
+    detect (in O(1)) that memoized paths may have been computed over a
+    different link set. *)
+
 (** {1 Paths}
 
     A route is the list of [(node, out_port)] pairs a packet follows,
@@ -94,6 +100,31 @@ val k_shortest_paths :
     order. *)
 
 val path_cost : t -> metric:(link -> float) -> hop list -> float
+
+(** {1 Shortest-path trees}
+
+    One Dijkstra run from a source answers every destination: the
+    directory memoizes one tree per (source, selector, epoch) instead of
+    re-running Dijkstra per query. The tree is built by the {e same}
+    algorithm as {!shortest_path} (identical heap keys and relaxation
+    order), merely not stopped early, so {!spt_path} is bit-identical to a
+    fresh per-destination [shortest_path] on the same graph. *)
+
+type spt
+
+val shortest_path_tree : t -> metric:(link -> float) -> src:node_id -> spt
+(** Single-source Dijkstra over the whole reachable component. The metric
+    must be positive. O(links log nodes); answers all destinations. *)
+
+val spt_src : spt -> node_id
+
+val spt_path : spt -> dst:node_id -> hop list option
+(** [None] if unreachable (or the node postdates the tree); [[]] if [dst]
+    is the tree's source. Equals [shortest_path ~src ~dst] on the graph
+    state the tree was built from. *)
+
+val spt_dist : spt -> dst:node_id -> float
+(** Total metric to [dst]; [infinity] if unreachable. *)
 
 (** {1 Builders} *)
 
@@ -122,6 +153,19 @@ val hierarchical_switch :
     exceed the 255-port VIPER limit. Returns [(root, leaf_routers)].
     "The hierarchically structuring ... imposes no significant additional
     delay given the use of cut-through routing at each stage." *)
+
+val hierarchical_internet :
+  rng:Sim.Rng.t -> ?branching:int -> ?depth:int -> hosts:int -> unit ->
+  t * node_id array * node_id array
+(** A deep region hierarchy for directory-scale workloads: a root router,
+    [depth] levels of [branching]-ary region routers below it
+    ([branching]^[depth] leaf regions), and [hosts] hosts dealt round-robin
+    across the leaf regions. Node names spell the region path
+    (["top.r3.r1.h42"]), so a host's directory name mirrors the topology.
+    Trunks get faster toward the root; [rng] perturbs propagation delays so
+    metrics are not degenerate. Raises [Invalid_argument] if any router
+    would exceed VIPER's 255-port fan-out. Returns
+    [(g, leaf_routers, hosts)]. *)
 
 val campus_internet :
   rng:Sim.Rng.t -> campuses:int -> hosts_per_campus:int -> t * node_id array * node_id array

@@ -230,6 +230,222 @@ let monitor_reports_steer () =
   check_bool "advisory avoids the loaded path" true
     (List.mem r2 (G.route_nodes g ~src:h1 (List.hd best).D.hops))
 
+(* --- name interning and region enumeration --- *)
+
+let interning_is_stable () =
+  let _, _, hosts, dir = build () in
+  let a = D.intern_name dir (n "edu.campus1.host5") in
+  let b = D.intern_name dir (n "edu.campus1.host5") in
+  check_int "same name same id" a b;
+  let c = D.intern_name dir (n "edu.campus2.host2") in
+  check_bool "distinct names distinct ids" true (a <> c);
+  check_bool "registered names counted" true (D.registered_names dir >= 8);
+  ignore hosts
+
+let region_enumeration_is_subtree () =
+  let g = G.create () in
+  let dir = D.create g in
+  let reg name =
+    let h = G.add_node g G.Host in
+    D.register dir ~name:(n name) ~node:h;
+    h
+  in
+  let h1 = reg "edu.stanford.cs.h1" in
+  let h2 = reg "edu.stanford.cs.h2" in
+  let h3 = reg "edu.stanford.ee.h1" in
+  let _h4 = reg "edu.mit.lcs.h1" in
+  let under prefix =
+    List.map (fun (_, node) -> node) (D.enumerate_region dir (n prefix))
+  in
+  Alcotest.(check (list int)) "cs subtree" [ h1; h2 ] (under "edu.stanford.cs");
+  Alcotest.(check (list int)) "stanford subtree" [ h1; h2; h3 ] (under "edu.stanford");
+  check_int "edu subtree" 4 (List.length (under "edu"));
+  check_int "unknown region empty" 0 (List.length (under "com"));
+  (* exact-name prefix includes itself *)
+  Alcotest.(check (list int)) "leaf prefix" [ h1 ] (under "edu.stanford.cs.h1")
+
+(* --- memoization correctness --- *)
+
+(* A directory with both memo LRUs disabled computes every query from
+   scratch through the seed per-query path: the reference for equality. *)
+let build_pair () =
+  let rng = Sim.Rng.create 99L in
+  let g, _routers, hosts = G.campus_internet ~rng ~campuses:4 ~hosts_per_campus:2 in
+  let dir_memo = D.create g in
+  let dir_cold = D.create ~answer_cache:0 ~spt_cache:0 g in
+  Array.iteri
+    (fun i h ->
+      let name = n (Printf.sprintf "edu.campus%d.host%d" (i mod 4) i) in
+      D.register dir_memo ~name ~node:h;
+      D.register dir_cold ~name ~node:h)
+    hosts;
+  (g, hosts, dir_memo, dir_cold)
+
+let strip (infos : D.route_info list) =
+  (* tokens keep their original nonces under memoization; compare the
+     routing substance: hops and attributes *)
+  List.map (fun (r : D.route_info) -> (r.D.hops, r.D.attrs)) infos
+
+let memoized_equals_cold () =
+  let _, hosts, dir_memo, dir_cold = build_pair () in
+  let rng = Sim.Rng.create 0x21E9L in
+  let selectors = [| D.Lowest_delay; D.Highest_bandwidth; D.Lowest_cost |] in
+  for _ = 1 to 200 do
+    let client = hosts.(Sim.Rng.int rng (Array.length hosts)) in
+    let ti = Sim.Rng.int rng (Array.length hosts) in
+    let target = n (Printf.sprintf "edu.campus%d.host%d" (ti mod 4) ti) in
+    let selector = selectors.(Sim.Rng.int rng (Array.length selectors)) in
+    let k = 1 + Sim.Rng.int rng 2 in
+    let memo = D.query dir_memo ~client ~target ~selector ~k () in
+    let cold = D.query dir_cold ~client ~target ~selector ~k () in
+    check_bool "memoized answer = cold answer" true (strip memo = strip cold);
+    (* mix in load reports so epochs advance mid-stream *)
+    if Sim.Rng.int rng 10 = 0 then begin
+      let link = Sim.Rng.int rng 8 in
+      let u = float_of_int (Sim.Rng.int rng 100) /. 100.0 in
+      D.report_load dir_memo ~link_id:link ~utilization:u;
+      D.report_load dir_cold ~link_id:link ~utilization:u
+    end
+  done;
+  check_bool "memo hits happened" true (D.cache_hits dir_memo > 0);
+  check_bool "cold path never cached" true (D.cache_hits dir_cold = 0);
+  (* an SPT build can only happen inside a miss computation *)
+  check_bool "spt builds bounded by misses" true
+    (D.spt_builds dir_memo <= D.cache_misses dir_memo)
+
+let epoch_bump_changes_answers () =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props);
+  ignore (G.connect g h1 r2 G.default_props);
+  ignore (G.connect g r1 h2 G.default_props) (* link 2 *);
+  ignore (G.connect g r2 h2 { G.default_props with G.propagation = Sim.Time.us 50 });
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  let best () =
+    let routes = D.query dir ~client:h1 ~target:(n "org.dst") ~k:1 () in
+    G.route_nodes g ~src:h1 (List.hd routes).D.hops
+  in
+  check_bool "r1 initially" true (List.mem r1 (best ()));
+  let e0 = D.epoch dir in
+  check_int "second query hits the memo" 1
+    (let _ = best () in
+     D.cache_hits dir);
+  (* an unchanged report must NOT flush the cache *)
+  D.report_load dir ~link_id:2 ~utilization:0.0;
+  check_int "unchanged load keeps epoch" e0 (D.epoch dir);
+  (* a real load change bumps the epoch and recomputes *)
+  D.report_load dir ~link_id:2 ~utilization:0.95;
+  check_bool "epoch advanced" true (D.epoch dir > e0);
+  let misses_before = D.cache_misses dir in
+  check_bool "answer steers to r2 after the bump" true (List.mem r2 (best ()));
+  check_bool "recomputed, not replayed" true (D.cache_misses dir > misses_before)
+
+let lru_never_serves_stale_epoch () =
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props);
+  ignore (G.connect g h1 r2 G.default_props);
+  ignore (G.connect g r1 h2 G.default_props) (* link 2 *);
+  ignore (G.connect g r2 h2 { G.default_props with G.propagation = Sim.Time.us 50 });
+  (* tiny caches force evictions while epochs churn *)
+  let dir = D.create ~answer_cache:2 ~spt_cache:1 g in
+  let cold = D.create ~answer_cache:0 ~spt_cache:0 g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  D.register cold ~name:(n "org.dst") ~node:h2;
+  let rng = Sim.Rng.create 7L in
+  let selectors = [| D.Lowest_delay; D.Highest_bandwidth; D.Lowest_cost |] in
+  for i = 1 to 100 do
+    (if i mod 3 = 0 then
+       let u = float_of_int (Sim.Rng.int rng 100) /. 100.0 in
+       let link = Sim.Rng.int rng 4 in
+       D.report_load dir ~link_id:link ~utilization:u;
+       D.report_load cold ~link_id:link ~utilization:u);
+    let selector = selectors.(Sim.Rng.int rng 3) in
+    let k = 1 + Sim.Rng.int rng 2 in
+    let a = D.query dir ~client:h1 ~target:(n "org.dst") ~selector ~k () in
+    let b = D.query cold ~client:h1 ~target:(n "org.dst") ~selector ~k () in
+    check_bool "evicting cache still epoch-exact" true (strip a = strip b)
+  done;
+  check_bool "evictions actually happened" true (D.cache_evictions dir > 0);
+  check_bool "resident state bounded by caps" true (D.cache_entries dir <= 3)
+
+let frozen_replay_survives_memoization () =
+  (* same shape as the faults test, but through the LRU path: frozen
+     replays the memo regardless of epoch, thaw recomputes *)
+  let g = G.create () in
+  let h1 = G.add_node g G.Host and h2 = G.add_node g G.Host in
+  let r1 = G.add_node g G.Router in
+  ignore (G.connect g h1 r1 G.default_props);
+  ignore (G.connect g r1 h2 G.default_props);
+  let dir = D.create g in
+  D.register dir ~name:(n "org.dst") ~node:h2;
+  let fresh = D.query dir ~client:h1 ~target:(n "org.dst") ~k:1 () in
+  check_int "route exists" 1 (List.length fresh);
+  D.set_frozen dir true;
+  D.report_load dir ~link_id:0 ~utilization:0.9 (* epoch bump *);
+  let stale = D.query dir ~client:h1 ~target:(n "org.dst") ~k:1 () in
+  check_bool "frozen replays despite epoch bump" true (strip stale = strip fresh);
+  check_int "stale counted" 1 (D.stale_served dir)
+
+let client_cache_is_bounded () =
+  let _, _, hosts, dir = build () in
+  let engine = Sim.Engine.create () in
+  let client =
+    Dirsvc.Client.create ~cache_cap:3 ~cache_ttl:(Sim.Time.s 10) engine dir
+      ~node:hosts.(0)
+  in
+  for i = 0 to 6 do
+    Dirsvc.Client.routes client
+      ~target:(n (Printf.sprintf "edu.campus%d.host%d" (i mod 4) i))
+      (fun _ -> ())
+  done;
+  Sim.Engine.run engine;
+  check_bool "entries capped" true (Dirsvc.Client.cached_entries client <= 3);
+  check_int "all were misses" 7 (Dirsvc.Client.misses client)
+
+let client_sweeps_expired_before_evicting () =
+  let _, _, hosts, dir = build () in
+  let engine = Sim.Engine.create () in
+  let client =
+    Dirsvc.Client.create ~cache_cap:2 ~cache_ttl:(Sim.Time.ms 50) engine dir
+      ~node:hosts.(0)
+  in
+  let q i k = Dirsvc.Client.routes client ~target:(n (Printf.sprintf "edu.campus%d.host%d" (i mod 4) i)) k in
+  q 1 (fun _ -> ());
+  q 2 (fun _ -> ());
+  Sim.Engine.run engine;
+  check_int "full" 2 (Dirsvc.Client.cached_entries client);
+  (* let both entries expire, then insert: the sweep clears them *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.s 1) (fun () -> q 3 (fun _ -> ())));
+  Sim.Engine.run engine;
+  check_bool "expired swept on insert" true (Dirsvc.Client.cached_entries client <= 2)
+
+let client_counters_on_registry () =
+  let _, _, hosts, dir = build () in
+  let engine = Sim.Engine.create () in
+  let registry = Telemetry.Registry.create () in
+  let client =
+    Dirsvc.Client.create ~telemetry:registry engine dir ~node:hosts.(0)
+  in
+  let target = n "edu.campus1.host5" in
+  Dirsvc.Client.routes client ~target (fun _ ->
+      Dirsvc.Client.routes client ~target (fun _ -> ()));
+  Sim.Engine.run engine;
+  check_int "hit" 1 (Dirsvc.Client.hits client);
+  check_int "miss" 1 (Dirsvc.Client.misses client);
+  let rows = Telemetry.Registry.snapshot registry in
+  let find name =
+    List.exists
+      (fun (r : Telemetry.Registry.row) -> r.Telemetry.Registry.row_name = name)
+      rows
+  in
+  check_bool "hits exported" true (find "dirsvc_client_hits");
+  check_bool "misses exported" true (find "dirsvc_client_misses")
+
 let () =
   Alcotest.run "dirsvc"
     [
@@ -252,9 +468,25 @@ let () =
         ] );
       ( "monitor",
         [ Alcotest.test_case "auto load reports steer" `Quick monitor_reports_steer ] );
+      ( "scale",
+        [
+          Alcotest.test_case "interning is stable" `Quick interning_is_stable;
+          Alcotest.test_case "region enumeration" `Quick region_enumeration_is_subtree;
+          Alcotest.test_case "memoized = cold" `Quick memoized_equals_cold;
+          Alcotest.test_case "epoch bump changes answers" `Quick
+            epoch_bump_changes_answers;
+          Alcotest.test_case "LRU never serves stale epoch" `Quick
+            lru_never_serves_stale_epoch;
+          Alcotest.test_case "frozen replay through memo" `Quick
+            frozen_replay_survives_memoization;
+        ] );
       ( "client",
         [
           Alcotest.test_case "caches and invalidates" `Quick client_caches;
           Alcotest.test_case "hit faster than miss" `Quick cache_hit_is_faster;
+          Alcotest.test_case "bounded cache" `Quick client_cache_is_bounded;
+          Alcotest.test_case "sweeps expired on insert" `Quick
+            client_sweeps_expired_before_evicting;
+          Alcotest.test_case "telemetry counters" `Quick client_counters_on_registry;
         ] );
     ]

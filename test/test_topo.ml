@@ -226,6 +226,76 @@ let qcheck_random_graph_paths =
         | nodes -> List.hd (List.rev nodes) = dst
         | exception _ -> false))
 
+(* --- shortest-path trees and the topology version --- *)
+
+let spt_matches_per_query_dijkstra () =
+  (* the SPT must reproduce shortest_path bit-for-bit for every
+     destination: same hops, same ports, under a non-trivial metric *)
+  let rng = Sim.Rng.create 0x51AL in
+  let g, _routers, _hosts = G.campus_internet ~rng ~campuses:6 ~hosts_per_campus:3 in
+  let metric (l : G.link) =
+    Sim.Time.to_seconds l.G.props.G.propagation
+    +. (1e3 /. float_of_int l.G.props.G.bandwidth_bps)
+  in
+  for src = 0 to 5 do
+    let spt = G.shortest_path_tree g ~metric ~src in
+    check_int "src recorded" src (G.spt_src spt);
+    for dst = 0 to G.node_count g - 1 do
+      let direct = G.shortest_path g ~metric ~src ~dst in
+      let from_tree = G.spt_path spt ~dst in
+      check_bool
+        (Printf.sprintf "spt(%d->%d) = dijkstra" src dst)
+        true
+        (direct = from_tree)
+    done
+  done
+
+let spt_distances_consistent () =
+  let g, ids = mk_line 6 in
+  let spt = G.shortest_path_tree g ~metric:hop_metric ~src:ids.(0) in
+  check_bool "self dist 0" true (G.spt_dist spt ~dst:ids.(0) = 0.0);
+  check_bool "5 hops" true (abs_float (G.spt_dist spt ~dst:ids.(5) -. 5.0) < 1e-9);
+  (* a node created after the tree: unreachable, not a crash *)
+  let late = G.add_node g G.Router in
+  check_bool "late node unreachable" true (G.spt_path spt ~dst:late = None);
+  check_bool "late node dist inf" true (G.spt_dist spt ~dst:late = infinity)
+
+let version_tracks_link_changes () =
+  let g = G.create () in
+  let a = G.add_node g G.Router and b = G.add_node g G.Router in
+  let v0 = G.version g in
+  ignore (G.connect g a b props);
+  check_bool "connect bumps" true (G.version g > v0);
+  let l = List.hd (G.links g) in
+  let v1 = G.version g in
+  G.disconnect g l;
+  check_bool "disconnect bumps" true (G.version g > v1);
+  let v2 = G.version g in
+  G.reconnect g l;
+  check_bool "reconnect bumps" true (G.version g > v2);
+  let v3 = G.version g in
+  G.reconnect g l (* no-op: already attached *);
+  check_int "no-op reconnect does not bump" v3 (G.version g)
+
+let hierarchical_internet_shape () =
+  let rng = Sim.Rng.create 0xDEE9L in
+  let g, leaves, hosts =
+    G.hierarchical_internet ~rng ~branching:3 ~depth:2 ~hosts:40 ()
+  in
+  check_int "leaf regions" 9 (Array.length leaves);
+  check_int "hosts" 40 (Array.length hosts);
+  (* routers: 1 root + 3 + 9; every host reachable from every other *)
+  check_int "nodes" (1 + 3 + 9 + 40) (G.node_count g);
+  let metric (_ : G.link) = 1.0 in
+  let p = G.shortest_path g ~metric ~src:hosts.(0) ~dst:hosts.(39) in
+  check_bool "connected" true (p <> None);
+  (* names spell the region path *)
+  check_bool "host name under top" true
+    (String.length (G.name g hosts.(0)) > 4
+    && String.sub (G.name g hosts.(0)) 0 4 = "top.");
+  (* port budget respected even at full fan-out *)
+  Array.iter (fun l -> check_bool "leaf ports < 255" true (G.degree g l <= 255)) leaves
+
 let () =
   Alcotest.run "topo"
     [
@@ -253,6 +323,15 @@ let () =
           Alcotest.test_case "campus internetwork" `Quick campus_builder;
           Alcotest.test_case "hierarchical switch (small)" `Quick hierarchical_switch_small;
           Alcotest.test_case "hierarchical switch (large)" `Quick hierarchical_switch_large;
+        ] );
+      ( "spt",
+        [
+          Alcotest.test_case "matches per-query dijkstra" `Quick
+            spt_matches_per_query_dijkstra;
+          Alcotest.test_case "distances" `Quick spt_distances_consistent;
+          Alcotest.test_case "version tracks links" `Quick version_tracks_link_changes;
+          Alcotest.test_case "hierarchical internet shape" `Quick
+            hierarchical_internet_shape;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ qcheck_random_graph_paths ] );

@@ -110,6 +110,67 @@ let transactional_groups () =
   done;
   check_bool "three tiny gaps per txn" true (abs_float (float_of_int !tiny -. 300.0) < 10.0)
 
+(* --- zipf (E21 query popularity) --- *)
+
+let zipf_is_deterministic () =
+  let draws seed =
+    let z = Workload.Zipf.create (Sim.Rng.create seed) ~n:1000 ~s:1.1 in
+    List.init 500 (fun _ -> Workload.Zipf.draw z)
+  in
+  Alcotest.(check (list int)) "same seed, same sequence" (draws 42L) (draws 42L);
+  check_bool "different seed diverges" true (draws 42L <> draws 43L)
+
+let zipf_pmf_shape () =
+  let z = Workload.Zipf.create (Sim.Rng.create 1L) ~n:100 ~s:1.1 in
+  (* monotone non-increasing pmf, sums to 1 *)
+  let sum = ref 0.0 in
+  for i = 0 to 99 do
+    sum := !sum +. Workload.Zipf.pmf z i;
+    if i > 0 then
+      check_bool "pmf non-increasing" true
+        (Workload.Zipf.pmf z i <= Workload.Zipf.pmf z (i - 1) +. 1e-12)
+  done;
+  check_float "pmf sums to 1" 1.0 !sum;
+  check_float "mass_below n = 1" 1.0 (Workload.Zipf.mass_below z 100);
+  check_float "mass_below 0 = 0" 0.0 (Workload.Zipf.mass_below z 0);
+  (* skew concentrates mass: s=1.4 puts more weight on the head than s=0.6 *)
+  let head s = Workload.Zipf.mass_below (Workload.Zipf.create (Sim.Rng.create 1L) ~n:10_000 ~s) 100 in
+  check_bool "higher s concentrates" true (head 1.4 > head 1.1 && head 1.1 > head 0.6);
+  (* s=0 is uniform *)
+  let u = Workload.Zipf.create (Sim.Rng.create 1L) ~n:50 ~s:0.0 in
+  check_float "uniform pmf" 0.02 (Workload.Zipf.pmf u 17)
+
+let zipf_empirical_matches_pmf () =
+  let z = Workload.Zipf.create (Sim.Rng.create 0xE21L) ~n:200 ~s:1.1 in
+  let counts = Array.make 200 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let r = Workload.Zipf.draw z in
+    check_bool "in range" true (r >= 0 && r < 200);
+    counts.(r) <- counts.(r) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. float_of_int n in
+  check_bool "rank 0 near pmf" true (abs_float (freq 0 -. Workload.Zipf.pmf z 0) < 0.01);
+  check_bool "rank 1 near pmf" true (abs_float (freq 1 -. Workload.Zipf.pmf z 1) < 0.01);
+  check_bool "head dominates tail" true (counts.(0) > counts.(100))
+
+let zipf_identical_across_jobs () =
+  (* the E21 sharding contract: each grid task seeds its own rng stream, so
+     the merged draw sequences are bit-identical at any --jobs width *)
+  let grid = Array.init 6 (fun i -> i) in
+  let run jobs =
+    let results, _stats =
+      Parallel.Sweep.map ~jobs ~seed:0x512EL grid
+        ~f:(fun ~rng ~index:_ task ->
+          let z =
+            Workload.Zipf.create rng ~n:5_000 ~s:(0.8 +. (0.1 *. float_of_int task))
+          in
+          List.init 200 (fun _ -> Workload.Zipf.draw z))
+    in
+    Array.to_list results
+  in
+  Alcotest.(check (list (list int))) "jobs=1 = jobs=4" (run 1) (run 4)
+
 let () =
   Alcotest.run "workload"
     [
@@ -130,5 +191,12 @@ let () =
           Alcotest.test_case "periodic" `Quick periodic_is_constant;
           Alcotest.test_case "on/off bursty" `Quick on_off_is_bursty;
           Alcotest.test_case "transactional" `Quick transactional_groups;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "deterministic" `Quick zipf_is_deterministic;
+          Alcotest.test_case "pmf shape" `Quick zipf_pmf_shape;
+          Alcotest.test_case "empirical matches pmf" `Slow zipf_empirical_matches_pmf;
+          Alcotest.test_case "identical across jobs" `Quick zipf_identical_across_jobs;
         ] );
     ]
