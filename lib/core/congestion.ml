@@ -5,22 +5,52 @@ module C = Telemetry.Registry.Counter
 type config = {
   check_interval : Sim.Time.t;
   queue_threshold : int;
+  release_threshold : int;
   feeder_share : float;
   limiter_expiry : Sim.Time.t;
   ramp_factor : float;
+  ramp_after : Sim.Time.t;
+  max_rate_factor : float;
   min_rate_bps : float;
+  burst_window_s : float;
+  min_burst_bits : float;
+  flap_window : Sim.Time.t;
   ctl_frame_bytes : int;
 }
 
-let default_config =
+(* The seed constants as first documented: no hysteresis (release =
+   threshold), 90% feeder share, short expiry, unclamped ramp. E22 measures
+   every hostile scenario against these. *)
+let untuned_config =
   {
     check_interval = Sim.Time.ms 5;
     queue_threshold = 8;
+    release_threshold = 8;
     feeder_share = 0.9;
     limiter_expiry = Sim.Time.ms 100;
     ramp_factor = 1.25;
+    ramp_after = Sim.Time.ms 5;
+    max_rate_factor = infinity;
     min_rate_bps = 64_000.0;
+    burst_window_s = 0.005;
+    min_burst_bits = 24_000.0;
+    flap_window = Sim.Time.ms 200;
     ctl_frame_bytes = 16;
+  }
+
+(* E22's closed-loop winner (bench/e22_adversarial.ml): hysteresis keeps
+   feeders refreshed until the queue genuinely drains, the share leaves
+   just enough headroom to bleed the standing queue without idling the
+   trunk, expiry outlives the threshold->release drain so sustained
+   overload never cycles limiters, and the ramp is clamped at line rate. *)
+let default_config =
+  {
+    untuned_config with
+    release_threshold = 0;
+    feeder_share = 0.93;
+    limiter_expiry = Sim.Time.ms 250;
+    ramp_after = Sim.Time.ms 15;
+    max_rate_factor = 1.0;
   }
 
 type Netsim.Frame.meta +=
@@ -41,14 +71,29 @@ type t = {
   config : config;
   limiters : (int * int, limiter) Hashtbl.t;  (* (out_port, next_port) *)
   window : (int * int, int) Hashtbl.t;  (* (out_port, in_port) -> packets *)
+  feeders : (int * int, Sim.Time.t) Hashtbl.t;
+      (* (out_port, in_port) -> last seen. Unlike [window], which empties
+         every interval, this remembers feeders for a full limiter_expiry:
+         a throttled feeder trickling less than one packet per interval
+         must still be refreshed, or its limiter ramps back up and
+         re-floods the queue between the signals it happens to catch. *)
   known_out_ports : (int, unit) Hashtbl.t;
+  congested : (int, unit) Hashtbl.t;
+      (* out ports inside the hysteresis band: signalled, not yet drained
+         to release_threshold *)
+  recent_off : (int * int, Sim.Time.t) Hashtbl.t;
+      (* limiter key -> expiry time, for oscillation detection *)
   mutable started : bool;
   mutable tick_armed : bool;
   ctl_sent : C.t;
   ctl_received : C.t;
+  osc : C.t;
+  crash_drops : C.t;
 }
 
 let create world ~node config =
+  if config.release_threshold > config.queue_threshold then
+    invalid_arg "Congestion.create: release_threshold > queue_threshold";
   let cnt ?help name =
     Telemetry.Registry.counter (W.metrics world) ?help
       ~labels:[ ("node", string_of_int node) ]
@@ -60,21 +105,29 @@ let create world ~node config =
     config;
     limiters = Hashtbl.create 8;
     window = Hashtbl.create 16;
+    feeders = Hashtbl.create 16;
     known_out_ports = Hashtbl.create 8;
+    congested = Hashtbl.create 4;
+    recent_off = Hashtbl.create 8;
     started = false;
     tick_armed = false;
     ctl_sent = cnt "ctl_sent" ~help:"rate-control frames sent to feeders";
     ctl_received = cnt "ctl_received";
+    osc =
+      cnt "oscillations"
+        ~help:"limiters re-installed within flap_window of their own expiry";
+    crash_drops = cnt "crash_drops" ~help:"limiter-held packets lost to a crash";
   }
 
 (* --- token-bucket limiters --- *)
 
-let burst_bits lim = Float.max 24_000.0 (lim.rate_bps *. 0.005)
+let burst_bits t lim =
+  Float.max t.config.min_burst_bits (lim.rate_bps *. t.config.burst_window_s)
 
 let refill t lim =
   let now = W.now t.world in
   let dt = Sim.Time.to_seconds (now - lim.last_refill) in
-  lim.bucket_bits <- Float.min (burst_bits lim) (lim.bucket_bits +. (lim.rate_bps *. dt));
+  lim.bucket_bits <- Float.min (burst_bits t lim) (lim.bucket_bits +. (lim.rate_bps *. dt));
   lim.last_refill <- now
 
 let rec drain t lim =
@@ -100,8 +153,9 @@ let rec drain t lim =
                drain t lim))
     end
 
-(* The rate may have been ramped up since a drain was scheduled from the
-   old, lower rate: re-evaluate the wait. *)
+(* The rate may have been raised (ramp or a fresh signal) since a drain was
+   scheduled from the old, lower rate: re-evaluate the wait so a held
+   packet never over-waits on a stale schedule. *)
 let reschedule_drain t lim =
   (match lim.drain_event with
   | Some h ->
@@ -140,11 +194,22 @@ let capacity_bps t port =
   | Some l -> float_of_int l.G.props.G.bandwidth_bps
   | None -> 0.0
 
+(* Ramp ceiling for a limiter: the local out link's capacity times the
+   configured factor. An unlinked port (or factor = infinity) leaves the
+   ramp unclamped. *)
+let rate_ceiling t out_port =
+  let cap = capacity_bps t out_port in
+  if cap > 0.0 then cap *. t.config.max_rate_factor else infinity
+
 let signal_feeders t out_port =
+  let now = W.now t.world in
   let feeders =
     Hashtbl.fold
-      (fun (op, in_port) n acc -> if op = out_port && n > 0 then in_port :: acc else acc)
-      t.window []
+      (fun (op, in_port) seen acc ->
+        if op = out_port && now - seen <= t.config.limiter_expiry then
+          in_port :: acc
+        else acc)
+      t.feeders []
     |> List.sort_uniq compare
   in
   match feeders with
@@ -170,14 +235,19 @@ let ramp_and_expire t =
   let now = W.now t.world in
   let stale =
     Hashtbl.fold
-      (fun key lim acc ->
+      (fun ((out_port, _) as key) lim acc ->
         if
           now - lim.last_signal > t.config.limiter_expiry
           && Queue.is_empty lim.pending
         then key :: acc
         else begin
-          if now - lim.last_signal > t.config.check_interval then begin
-            lim.rate_bps <- lim.rate_bps *. t.config.ramp_factor;
+          (* ramp only after a genuinely quiet spell: while the congested
+             router keeps refreshing (every check_interval), the rate must
+             hold, or idle gaps between bursts wind the limiter back to
+             line rate and the next burst lands unthrottled *)
+          if now - lim.last_signal > t.config.ramp_after then begin
+            lim.rate_bps <-
+              Float.min (rate_ceiling t out_port) (lim.rate_bps *. t.config.ramp_factor);
             if not (Queue.is_empty lim.pending) then reschedule_drain t lim
           end;
           acc
@@ -189,6 +259,7 @@ let ramp_and_expire t =
       Telemetry.Events.emit (W.events t.world) ~time:now
         (Telemetry.Events.Backpressure_off
            { node = t.node; in_port; congested_port });
+      Hashtbl.replace t.recent_off key now;
       Hashtbl.remove t.limiters key)
     stale
 
@@ -200,8 +271,32 @@ let monitor t =
         W.queue_length t.world ~node:t.node ~port:out_port
         + limiter_backlog_for t out_port
       in
-      if depth > t.config.queue_threshold then signal_feeders t out_port)
+      if depth > t.config.queue_threshold then begin
+        Hashtbl.replace t.congested out_port ();
+        signal_feeders t out_port
+      end
+      else if Hashtbl.mem t.congested out_port then begin
+        (* hysteresis: keep refreshing the feeders until the queue has
+           genuinely drained, so limiters are not allowed to expire and
+           slam back the moment the depth dips below the threshold *)
+        if depth > t.config.release_threshold then signal_feeders t out_port
+        else Hashtbl.remove t.congested out_port
+      end)
     t.known_out_ports;
+  let now = W.now t.world in
+  let stale_feeders =
+    Hashtbl.fold
+      (fun key seen acc ->
+        if now - seen > t.config.limiter_expiry then key :: acc else acc)
+      t.feeders []
+  in
+  List.iter (Hashtbl.remove t.feeders) stale_feeders;
+  let stale_off =
+    Hashtbl.fold
+      (fun key off acc -> if now - off > t.config.flap_window then key :: acc else acc)
+      t.recent_off []
+  in
+  List.iter (Hashtbl.remove t.recent_off) stale_off;
   Hashtbl.reset t.window
 
 (* The monitor goes quiescent when there is nothing to watch, so idle hosts
@@ -222,14 +317,23 @@ let rec ensure_tick t =
 and tick t =
   let had_traffic = Hashtbl.length t.window > 0 in
   monitor t;
-  if had_traffic || Hashtbl.length t.limiters > 0 then ensure_tick t
-  else Hashtbl.reset t.known_out_ports
+  if had_traffic || Hashtbl.length t.limiters > 0 || Hashtbl.length t.congested > 0
+  then ensure_tick t
+  else begin
+    Hashtbl.reset t.known_out_ports;
+    Hashtbl.reset t.feeders
+    (* recent_off is deliberately kept across quiescence: a limiter that
+       expires on the monitor's last tick must still count as a flap if
+       the next burst reinstalls it within flap_window. Entries age out
+       in [monitor]. *)
+  end
 
 let note_arrival t ~in_port ~out_port =
   Hashtbl.replace t.known_out_ports out_port ();
   let key = (out_port, in_port) in
   let n = Option.value ~default:0 (Hashtbl.find_opt t.window key) in
   Hashtbl.replace t.window key (n + 1);
+  Hashtbl.replace t.feeders key (W.now t.world);
   ensure_tick t
 
 let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
@@ -238,9 +342,26 @@ let handle_ctl t ~arrival_port ~congested_port ~rate_bps =
   let now = W.now t.world in
   (match Hashtbl.find_opt t.limiters key with
   | Some lim ->
+    refill t lim;
+    let old_rate = lim.rate_bps in
     lim.rate_bps <- rate_bps;
-    lim.last_signal <- now
+    (* a rate cut also shrinks the bucket: the invariant
+       bucket_bits <= burst_bits holds at every observation point *)
+    lim.bucket_bits <- Float.min lim.bucket_bits (burst_bits t lim);
+    lim.last_signal <- now;
+    if rate_bps > old_rate && not (Queue.is_empty lim.pending) then
+      reschedule_drain t lim
   | None ->
+    (match Hashtbl.find_opt t.recent_off key with
+    | Some off when now - off <= t.config.flap_window ->
+      (* backpressure slammed back on right after expiring: the on/off
+         oscillation the hysteresis and expiry tuning are meant to kill *)
+      C.incr t.osc;
+      Telemetry.Events.emit (W.events t.world) ~time:now
+        (Telemetry.Events.Backpressure_flap
+           { node = t.node; in_port = arrival_port; congested_port })
+    | Some _ | None -> ());
+    Hashtbl.remove t.recent_off key;
     Telemetry.Events.emit (W.events t.world) ~time:now
       (Telemetry.Events.Backpressure_on
          { node = t.node; in_port = arrival_port; congested_port; rate_bps });
@@ -260,8 +381,8 @@ let start t =
 
 (* Crash support: every structure here is soft state the paper says a
    router may lose and rebuild on use — limiters (held packets are lost
-   with the crash), feeder windows, monitored ports. Returns the number of
-   held packets dropped. *)
+   with the crash), feeder windows, monitored/congested ports, flap
+   history. Returns the number of held packets dropped. *)
 let reset t =
   let dropped =
     Hashtbl.fold
@@ -276,12 +397,26 @@ let reset t =
   in
   Hashtbl.reset t.limiters;
   Hashtbl.reset t.window;
+  Hashtbl.reset t.feeders;
   Hashtbl.reset t.known_out_ports;
+  Hashtbl.reset t.congested;
+  Hashtbl.reset t.recent_off;
+  if dropped > 0 then C.add t.crash_drops dropped;
   dropped
 
 let backlog t =
   Hashtbl.fold (fun _ lim acc -> acc + Queue.length lim.pending) t.limiters 0
 
 let limiters t = Hashtbl.length t.limiters
+let congested_ports t = Hashtbl.length t.congested
+
+let bucket_level t ~out_port ~next_port =
+  match Hashtbl.find_opt t.limiters (out_port, next_port) with
+  | None -> None
+  | Some lim ->
+    refill t lim;
+    Some (lim.bucket_bits, burst_bits t lim)
+
 let ctl_sent t = C.value t.ctl_sent
 let ctl_received t = C.value t.ctl_received
+let oscillations t = C.value t.osc

@@ -17,19 +17,55 @@
     signal further upstream.
 
     The paper leaves the constants open ("part of on-going research");
-    {!default_config} records this repo's choices. *)
+    {!default_config} records this repo's choices, tuned by the E22
+    closed-loop sweep against steady overload, adversarial (w,ρ)
+    injection, flash-crowd and incast workloads. {!untuned_config}
+    preserves the pre-tuning seed constants as the E22 comparison
+    baseline. *)
 
 type config = {
   check_interval : Sim.Time.t;  (** monitor / ramp period *)
   queue_threshold : int;  (** queued packets that declare congestion *)
+  release_threshold : int;
+      (** hysteresis low-water mark: once a port is congested, its feeders
+          keep being refreshed until the queue drains to at most this
+          depth. Equal to [queue_threshold] the controller has no
+          hysteresis and may oscillate limiter on/off each window. *)
   feeder_share : float;  (** fraction of capacity divided among feeders *)
   limiter_expiry : Sim.Time.t;  (** soft-state lifetime without refresh *)
   ramp_factor : float;  (** rate multiplier per quiet interval *)
+  ramp_after : Sim.Time.t;
+      (** quiet time (since the last refresh) before ramp-up begins. At
+          [check_interval] (the seed behaviour) a limiter starts ramping
+          between the very signals that refresh it, so idle gaps in a
+          bursty workload wind it back to line rate and the next burst
+          lands unthrottled; a few intervals of patience keeps the
+          throttle honest while the congested queue is still draining. *)
+  max_rate_factor : float;
+      (** ramp clamp: a limiter's rate never exceeds this multiple of its
+          local out-link capacity, so a long-unrefreshed limiter cannot
+          blast arbitrarily past line rate when it finally expires.
+          [infinity] disables the clamp (the untuned seed behaviour). *)
   min_rate_bps : float;  (** floor for advertised rates *)
+  burst_window_s : float;
+      (** token-bucket depth, as seconds of the current rate *)
+  min_burst_bits : float;  (** token-bucket depth floor *)
+  flap_window : Sim.Time.t;
+      (** a limiter re-installed within this time of its own expiry counts
+          as one backpressure oscillation (congestion_oscillations) *)
   ctl_frame_bytes : int;  (** simulated size of a rate-control message *)
 }
 
 val default_config : config
+(** The E22-tuned constants: hysteresis on ([release_threshold] below
+    [queue_threshold]), feeder share high enough to hold utilization at
+    steady overload, limiter expiry long enough to outlive the drain from
+    threshold to release, and the ramp clamped at line rate. *)
+
+val untuned_config : config
+(** The pre-E22 seed constants (documented-but-untuned defaults): no
+    hysteresis, 90% feeder share, 100 ms expiry, unclamped ramp. Kept as
+    the adversarial-bench comparison point. *)
 
 type Netsim.Frame.meta +=
   | Rate_ctl of { congested_port : int; rate_bps : float }
@@ -53,19 +89,38 @@ val submit :
 
 val handle_ctl :
   t -> arrival_port:Topo.Graph.port -> congested_port:int -> rate_bps:float -> unit
-(** Install/refresh the limiter keyed [(arrival_port, congested_port)]. *)
+(** Install/refresh the limiter keyed [(arrival_port, congested_port)].
+    A refresh that raises the rate re-evaluates any waiting drain, so a
+    held packet never over-waits on a schedule computed from the stale
+    lower rate. *)
 
 val start : t -> unit
 (** Begin the periodic monitor (idempotent). *)
 
 val reset : t -> int
-(** Crash support: wipe all soft state (limiters, feeder windows, monitored
-    ports). Packets held in limiters are lost; returns how many. The state
-    rebuilds from subsequent traffic, as soft state must. *)
+(** Crash support: wipe all soft state (limiters, feeder windows,
+    monitored and congested ports, flap history). Packets held in
+    limiters are lost; returns how many (also counted in
+    [congestion_crash_drops]). The state rebuilds from subsequent
+    traffic, as soft state must. *)
 
 val backlog : t -> int
 (** Packets currently held across all limiters. *)
 
 val limiters : t -> int
+val congested_ports : t -> int
+(** Output ports currently inside the hysteresis band (signalled, not yet
+    drained to [release_threshold]). *)
+
+val bucket_level : t -> out_port:int -> next_port:int -> (float * float) option
+(** [(bucket_bits, burst_cap_bits)] of the limiter for
+    [(out_port, next_port)] after refilling it to now; [None] when
+    unthrottled. The first component never exceeds the second. *)
+
 val ctl_sent : t -> int
 val ctl_received : t -> int
+
+val oscillations : t -> int
+(** Backpressure oscillations: limiters re-installed within
+    [flap_window] of their own expiry ([congestion_oscillations] on the
+    world registry; each also emits {!Telemetry.Events.Backpressure_flap}). *)

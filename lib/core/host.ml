@@ -20,6 +20,7 @@ type t = {
 
 let node t = t.node
 let world t = t.world
+let limiter t = t.limiter
 let set_receive t f = t.on_receive <- Some f
 let received t = C.value t.received
 let misdelivered t = C.value t.misdelivered
@@ -68,8 +69,8 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
                | None -> ()
              end))
 
-let create world ~node =
-  let limiter = Congestion.create world ~node Congestion.default_config in
+let create ?(congestion = Congestion.default_config) world ~node =
+  let limiter = Congestion.create world ~node congestion in
   let cnt ?help name =
     Telemetry.Registry.counter (W.metrics world) ?help
       ~labels:[ ("node", string_of_int node) ]

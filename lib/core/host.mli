@@ -9,9 +9,20 @@
 
 type t
 
-val create : Netsim.World.t -> node:Topo.Graph.node_id -> t
+val create :
+  ?congestion:Congestion.config -> Netsim.World.t -> node:Topo.Graph.node_id -> t
+(** [create world ~node] attaches a host. [congestion] configures the
+    host's own injection limiter (defaults to
+    {!Congestion.default_config}) — hosts are rate-based sources, so the
+    constants under test in E22 apply at the edge exactly as in the
+    routers. *)
+
 val node : t -> Topo.Graph.node_id
 val world : t -> Netsim.World.t
+
+val limiter : t -> Congestion.t
+(** The host's own injection limiter — exposed so benches and tests can
+    inspect backlog and token-bucket state at the edge. *)
 
 val set_receive :
   t -> (t -> packet:Viper.Packet.t -> in_port:Topo.Graph.port -> unit) -> unit

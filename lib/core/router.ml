@@ -216,9 +216,12 @@ let count_send_result t ~frame ~in_port result =
 (* Transmit [payload] out [out_port] at [when_], honoring any congestion
    limiter for its (out_port, next segment port) queue. *)
 let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
+  (* [payload] is already stripped of this node's segment, so its leading
+     segment names the port the NEXT node will forward on — exactly the
+     queue a Rate_ctl limiter for (out_port, next_port) is keyed by. *)
   let next_port =
     match Pkt.peek_ports payload with
-    | _, second -> second
+    | first, _ -> Some first
     | exception _ -> None
   in
   let send () =
@@ -622,10 +625,15 @@ let crash t =
     t.epoch <- t.epoch + 1;
     C.incr t.crashes;
     let lost = W.purge_node t.world ~node:t.node in
+    (* the congestion controller's limiters, windows and congested-port
+       marks are soft state too: they die with the crash, and packets held
+       in limiters are as lost as queued frames *)
+    let held =
+      match t.congestion with Some c -> Congestion.reset c | None -> 0
+    in
     Telemetry.Events.emit (W.events t.world) ~time:(now t)
-      (Telemetry.Events.Router_crashed { node = t.node; frames_lost = lost });
-    Token.Cache.flush t.cache;
-    Option.iter (fun c -> ignore (Congestion.reset c)) t.congestion
+      (Telemetry.Events.Router_crashed { node = t.node; frames_lost = lost + held });
+    Token.Cache.flush t.cache
   end
 
 let restart t =

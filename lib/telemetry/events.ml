@@ -5,6 +5,7 @@ type event =
   | Link_restored of { link_id : int }
   | Backpressure_on of { node : int; in_port : int; congested_port : int; rate_bps : float }
   | Backpressure_off of { node : int; in_port : int; congested_port : int }
+  | Backpressure_flap of { node : int; in_port : int; congested_port : int }
   | Route_failover of { entity : int64; route_index : int }
   | Directory_frozen of { frozen : bool }
 
@@ -49,6 +50,7 @@ let kind_name = function
   | Link_restored _ -> "link_restored"
   | Backpressure_on _ -> "backpressure_on"
   | Backpressure_off _ -> "backpressure_off"
+  | Backpressure_flap _ -> "backpressure_flap"
   | Route_failover _ -> "route_failover"
   | Directory_frozen _ -> "directory_frozen"
 
@@ -63,6 +65,9 @@ let to_string = function
       node in_port congested_port rate_bps
   | Backpressure_off { node; in_port; congested_port } ->
     Printf.sprintf "node %d: backpressure off (in_port %d -> port %d)" node
+      in_port congested_port
+  | Backpressure_flap { node; in_port; congested_port } ->
+    Printf.sprintf "node %d: backpressure flap (in_port %d -> port %d)" node
       in_port congested_port
   | Route_failover { entity; route_index } ->
     Printf.sprintf "entity %Ld failed over to route %d" entity route_index

@@ -17,6 +17,9 @@ type event =
       rate_bps : float;
     }
   | Backpressure_off of { node : int; in_port : int; congested_port : int }
+  | Backpressure_flap of { node : int; in_port : int; congested_port : int }
+      (** backpressure re-engaged on a feeder right after releasing: one
+          on/off oscillation of the rate controller *)
   | Route_failover of { entity : int64; route_index : int }
   | Directory_frozen of { frozen : bool }
 

@@ -109,7 +109,8 @@ let event_json (time, e) =
         ("congested_port", Int congested_port);
         ("rate_bps", Float rate_bps);
       ]
-    | Events.Backpressure_off { node; in_port; congested_port } ->
+    | Events.Backpressure_off { node; in_port; congested_port }
+    | Events.Backpressure_flap { node; in_port; congested_port } ->
       [ ("node", Int node); ("in_port", Int in_port); ("congested_port", Int congested_port) ]
     | Events.Route_failover { entity; route_index } ->
       [ ("entity", String (Int64.to_string entity)); ("route_index", Int route_index) ]

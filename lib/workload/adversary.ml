@@ -1,0 +1,151 @@
+(* Adversarial injection workloads in the (w,ρ) model of Andrews et al.
+   (Source Routing and Scheduling in Packet Networks): the adversary picks
+   injection time, source and destination freely, subject to a token-bucket
+   constraint on the traffic crossing a chosen target queue, and shapes
+   bursts to worst-case that queue. Companion flash-crowd and incast
+   generators cover the hostile-but-honest end of the spectrum.
+
+   All schedules are pure functions of (arguments, rng): grid tasks seeded
+   from Sim.Rng.stream reproduce them bit-identically at any --jobs. *)
+
+module G = Topo.Graph
+
+type injection = {
+  at : Sim.Time.t;
+  src : G.node_id;
+  dst : G.node_id;
+  bytes : int;
+}
+
+let hop_metric (_ : G.link) = 1.0
+
+let crossing_pairs g ~target:(tnode, tport) ~sources ~sinks =
+  let crosses src dst =
+    match G.shortest_path g ~metric:hop_metric ~src ~dst with
+    | None -> false
+    | Some hops ->
+      List.exists (fun { G.at; G.out } -> at = tnode && out = tport) hops
+  in
+  let acc = ref [] in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst -> if src <> dst && crosses src dst then acc := (src, dst) :: !acc)
+        sinks)
+    sources;
+  Array.of_list (List.rev !acc)
+
+let by_time l =
+  (* stable: equal timestamps keep emission order, so schedules are
+     reproducible and rounds stay grouped *)
+  List.stable_sort (fun a b -> compare a.at b.at) l
+
+let adversarial rng g ~target ~sources ~sinks ~w ~rho_pps ?burst_period
+    ?(start = Sim.Time.zero) ~bytes ~horizon () =
+  if w < 1 then invalid_arg "Adversary.adversarial: w must be >= 1";
+  if rho_pps <= 0.0 then invalid_arg "Adversary.adversarial: rho_pps must be > 0";
+  let pairs = crossing_pairs g ~target ~sources ~sinks in
+  if Array.length pairs = 0 then
+    invalid_arg "Adversary.adversarial: no source/sink pair crosses the target";
+  (* the adversary's route choice: hit the target queue through every
+     implicated feeder in a fixed random rotation *)
+  Sim.Rng.shuffle rng pairs;
+  let next_pair =
+    let i = ref 0 in
+    fun () ->
+      let p = pairs.(!i mod Array.length pairs) in
+      incr i;
+      p
+  in
+  let inject acc at =
+    let src, dst = next_pair () in
+    { at; src; dst; bytes } :: acc
+  in
+  let out = ref [] in
+  (match burst_period with
+  | Some period ->
+    (* burst-and-idle at the constraint envelope: every period the bucket
+       has refilled by ρ·T, so a volley of min(w, ρ·T) back-to-back
+       packets is admissible in every window *)
+    if period <= 0 then invalid_arg "Adversary.adversarial: burst_period must be > 0";
+    let volley =
+      min w (int_of_float (rho_pps *. Sim.Time.to_seconds period))
+    in
+    let volley = max 1 volley in
+    let t = ref start in
+    while !t < horizon do
+      for _ = 1 to volley do
+        out := inject !out !t
+      done;
+      t := !t + period
+    done
+  | None ->
+    (* maximal sustained pressure: spend the whole burst allowance at
+       once, then hold the line at exactly ρ *)
+    for _ = 1 to w do
+      out := inject !out start
+    done;
+    let gap = max 1 (Sim.Time.of_seconds (1.0 /. rho_pps)) in
+    let t = ref (start + gap) in
+    while !t < horizon do
+      out := inject !out !t;
+      t := !t + gap
+    done);
+  by_time (List.rev !out)
+
+let flash_crowd rng ~sources ~hotspots ~s ~baseline_pps ~spike_pps ~spike_start
+    ~spike_len ?(start = Sim.Time.zero) ~bytes ~horizon () =
+  if Array.length sources = 0 then invalid_arg "Adversary.flash_crowd: no sources";
+  if Array.length hotspots = 0 then invalid_arg "Adversary.flash_crowd: no hotspots";
+  if baseline_pps <= 0.0 || spike_pps <= 0.0 then
+    invalid_arg "Adversary.flash_crowd: rates must be > 0";
+  let zipf = Zipf.create rng ~n:(Array.length sources) ~s in
+  let spike_end = spike_start + spike_len in
+  let out = ref [] in
+  let t = ref start in
+  while !t < horizon do
+    let rate =
+      if !t >= spike_start && !t < spike_end then spike_pps else baseline_pps
+    in
+    let src = sources.(Zipf.draw zipf) in
+    let dst = hotspots.(Sim.Rng.int rng (Array.length hotspots)) in
+    out := { at = !t; src; dst; bytes } :: !out;
+    t := !t + max 1 (Sim.Time.of_seconds (1.0 /. rate))
+  done;
+  by_time (List.rev !out)
+
+let incast rng ~sources ~sink ~round_gap ~per_source ?(start = Sim.Time.zero)
+    ~bytes ~horizon () =
+  if Array.length sources = 0 then invalid_arg "Adversary.incast: no sources";
+  if round_gap <= 0 then invalid_arg "Adversary.incast: round_gap must be > 0";
+  if per_source < 1 then invalid_arg "Adversary.incast: per_source must be >= 1";
+  let order = Array.copy sources in
+  let out = ref [] in
+  let t = ref start in
+  while !t < horizon do
+    (* same instant for every source: the synchronized fan-in that defines
+       incast. The shuffle only varies which feeder wins the queue race. *)
+    Sim.Rng.shuffle rng order;
+    Array.iter
+      (fun src ->
+        for _ = 1 to per_source do
+          out := { at = !t; src; dst = sink; bytes } :: !out
+        done)
+      order;
+    t := !t + round_gap
+  done;
+  by_time (List.rev !out)
+
+let max_burst_excess l ~w ~rho_pps =
+  let ts = Array.of_list (List.map (fun i -> i.at) (by_time l)) in
+  let n = Array.length ts in
+  let worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let dt = Sim.Time.to_seconds (ts.(j) - ts.(i)) in
+      let allowance = float_of_int w +. (rho_pps *. dt) in
+      let excess = float_of_int (j - i + 1) -. allowance in
+      if excess > !worst then worst := excess
+    done
+  done;
+  if n = 0 then 0.0 else !worst

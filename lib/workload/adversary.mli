@@ -1,0 +1,87 @@
+(** Adversarial and hostile-crowd injection workloads for the congestion
+    benches (E22).
+
+    The adversary follows the (w,ρ) model of Andrews et al., "Source
+    Routing and Scheduling in Packet Networks": it controls the injection
+    time, source and destination of every packet, subject only to the
+    burst/rate constraint that any interval of length [T] seconds carries
+    at most [w + ρ·T] packets whose routes cross a chosen target queue.
+    Within that envelope it shapes route choices and burst timing to
+    maximise the target queue's occupancy — the worst case any
+    rate-constrained traffic can inflict.
+
+    Every generator is a pure function of its arguments and the
+    caller-supplied {!Sim.Rng.t}: hand each sweep task
+    [Sim.Rng.stream ~seed index] (as {!Parallel.Sweep} does) and the
+    schedule is bit-identical at any [--jobs] width. *)
+
+type injection = {
+  at : Sim.Time.t;
+  src : Topo.Graph.node_id;  (** originating host *)
+  dst : Topo.Graph.node_id;  (** destination host *)
+  bytes : int;
+}
+
+val crossing_pairs :
+  Topo.Graph.t -> target:Topo.Graph.node_id * Topo.Graph.port ->
+  sources:Topo.Graph.node_id array -> sinks:Topo.Graph.node_id array ->
+  (Topo.Graph.node_id * Topo.Graph.node_id) array
+(** The (source, sink) pairs whose hop-count shortest path leaves
+    [fst target] through port [snd target] — the route choices an
+    adversary aims at that output queue. Order follows [sources] ×
+    [sinks]. *)
+
+val adversarial :
+  Sim.Rng.t -> Topo.Graph.t ->
+  target:Topo.Graph.node_id * Topo.Graph.port ->
+  sources:Topo.Graph.node_id array -> sinks:Topo.Graph.node_id array ->
+  w:int -> rho_pps:float -> ?burst_period:Sim.Time.t ->
+  ?start:Sim.Time.t -> bytes:int -> horizon:Sim.Time.t -> unit ->
+  injection list
+(** A (w,ρ)-constrained schedule worst-casing the [target] queue, spread
+    round-robin over a randomly ordered set of {!crossing_pairs} so every
+    feeder of the queue is implicated.
+
+    With [burst_period = Some T]: periodic burst-and-idle — every [T] a
+    back-to-back volley of [min w (floor (ρ·T))] packets, nothing in
+    between. Timed just past a limiter's soft-state expiry this is the
+    pattern that forces maximal backpressure on/off oscillation.
+
+    Without [burst_period]: a leading burst of [w] packets followed by a
+    steady stream at exactly [ρ] — the maximal sustained occupancy.
+
+    Raises [Invalid_argument] if no source/sink pair crosses the target,
+    or [w < 1], or [rho_pps <= 0]. The result is time-sorted and never
+    violates the (w,ρ) constraint (see {!max_burst_excess}). *)
+
+val flash_crowd :
+  Sim.Rng.t ->
+  sources:Topo.Graph.node_id array -> hotspots:Topo.Graph.node_id array ->
+  s:float -> baseline_pps:float -> spike_pps:float ->
+  spike_start:Sim.Time.t -> spike_len:Sim.Time.t ->
+  ?start:Sim.Time.t -> bytes:int -> horizon:Sim.Time.t -> unit ->
+  injection list
+(** A flash crowd: background traffic at [baseline_pps] jumps to
+    [spike_pps] for [spike_len] starting at [spike_start], every packet
+    aimed at one of the [hotspots] (a single destination region's hosts).
+    Sources are zipf([s])-skewed — a few hosts dominate the demand, as in
+    real crowds. Raises [Invalid_argument] on empty arrays or
+    non-positive rates. *)
+
+val incast :
+  Sim.Rng.t ->
+  sources:Topo.Graph.node_id array -> sink:Topo.Graph.node_id ->
+  round_gap:Sim.Time.t -> per_source:int ->
+  ?start:Sim.Time.t -> bytes:int -> horizon:Sim.Time.t -> unit ->
+  injection list
+(** Synchronized N-to-1 fan-in (partition/aggregate): every [round_gap],
+    each source emits [per_source] packets to [sink] at the same instant.
+    The per-round source order is shuffled by [rng]; timestamps within a
+    round are identical, which is the worst case for the sink's access
+    queue. *)
+
+val max_burst_excess : injection list -> w:int -> rho_pps:float -> float
+(** The largest (w,ρ)-constraint violation over every window of the
+    schedule: [max over i<=j of (j - i + 1) - (w + ρ·(t_j - t_i))].
+    At most [0] (up to rounding) for a compliant schedule. O(n²) — meant
+    for tests and sanity checks, not hot paths. *)

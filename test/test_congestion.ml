@@ -145,6 +145,162 @@ let idle_controller_drains_event_queue () =
   Sim.Engine.run ~max_events:100_000 engine;
   check_bool "drained" true (Sim.Engine.pending engine = 0 || Sim.Engine.now engine > 0)
 
+(* --- E22 hardening: hysteresis, ramp clamp, ramp patience, flaps --- *)
+
+let ctl_after_burst cfg =
+  let _, engine, w, _, r1, trunk = world () in
+  let c = C.create w ~node:r1 cfg in
+  C.start c;
+  for _ = 1 to 30 do
+    ignore (W.send w ~node:r1 ~port:trunk (W.fresh_frame w (Bytes.make 1000 'q')));
+    C.note_arrival c ~in_port:1 ~out_port:trunk
+  done;
+  Sim.Engine.run ~until:(Sim.Time.ms 40) engine;
+  C.ctl_sent c
+
+let hysteresis_refreshes_until_drained () =
+  (* 30 queued packets drain at ~1.25/ms; the 5 ms ticks see depths of
+     roughly 24, 17, 11, 5, 0. Without hysteresis the refreshes stop the
+     moment the depth dips under the threshold (8); with
+     release_threshold 0 the feeder keeps being refreshed until the queue
+     has genuinely emptied. *)
+  let no_hyst =
+    ctl_after_burst { config with C.release_threshold = config.C.queue_threshold }
+  in
+  let hyst = ctl_after_burst { config with C.release_threshold = 0 } in
+  check_bool "hysteresis refreshes longer" true (hyst > no_hyst)
+
+let ramp_clamp_caps_at_line_rate () =
+  let _, engine, w, _, r1, _ = world () in
+  (* default config: max_rate_factor = 1.0 *)
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1e6;
+  (* ~200 ms of quiet ramping: unclamped that is 1e6 x 1.25^37 (gigabits);
+     the clamp pins the rate at the out link's 10 Mb/s *)
+  Sim.Engine.run ~until:(Sim.Time.ms 200) engine;
+  match C.bucket_level c ~out_port:1 ~next_port:3 with
+  | None -> Alcotest.fail "limiter expired early"
+  | Some (bucket, cap) ->
+    check_bool "bucket <= cap" true (bucket <= cap +. 1e-9);
+    check_bool "cap = line rate x burst window" true
+      (abs_float (cap -. (1e7 *. config.C.burst_window_s)) < 1.0)
+
+let unclamped_ramp_blows_past_line_rate () =
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 { config with C.max_rate_factor = infinity } in
+  C.start c;
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1e6;
+  Sim.Engine.run ~until:(Sim.Time.ms 200) engine;
+  match C.bucket_level c ~out_port:1 ~next_port:3 with
+  | None -> Alcotest.fail "limiter expired early"
+  | Some (_, cap) ->
+    check_bool "seed behaviour ramps far past line rate" true
+      (cap > 10.0 *. 1e7 *. config.C.burst_window_s)
+
+let refreshes_hold_the_rate () =
+  (* a limiter refreshed every 12 ms: with ramp_after = 15 ms the quiet
+     spells between refreshes never qualify, so the rate holds at the
+     advertised 6 Mb/s; at the seed's ramp_after = check_interval the
+     same refresh pattern leaks ramp-ups between the very signals meant
+     to hold the rate down *)
+  let run ramp_after =
+    let _, engine, w, _, r1, _ = world () in
+    let c = C.create w ~node:r1 { config with C.ramp_after } in
+    C.start c;
+    let rec refresh t =
+      if t < Sim.Time.ms 80 then
+        ignore
+          (Sim.Engine.schedule_at engine ~time:t (fun () ->
+               C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:6e6;
+               refresh (t + Sim.Time.ms 12)))
+    in
+    refresh 0;
+    (* last refresh at 72 ms; observe at 86 ms, 14 ms into the quiet *)
+    Sim.Engine.run ~until:(Sim.Time.ms 86) engine;
+    match C.bucket_level c ~out_port:1 ~next_port:3 with
+    | None -> Alcotest.fail "limiter missing"
+    | Some (_, cap) -> cap
+  in
+  let patient = run (Sim.Time.ms 15) in
+  let eager = run config.C.check_interval in
+  check_bool "patient limiter holds the advertised rate" true
+    (abs_float (patient -. (6e6 *. config.C.burst_window_s)) < 1.0);
+  check_bool "seed behaviour ramps between refreshes" true (eager > patient +. 1.0)
+
+let flap_counted_across_quiescence () =
+  (* a host's monitor goes quiescent right after its only limiter expires
+     (its windows are empty); the expiry must still count as an
+     oscillation when the next signal reinstalls the limiter within
+     flap_window *)
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.start c;
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1e6;
+  let reinstall_at = config.C.limiter_expiry + (4 * config.C.check_interval) in
+  ignore
+    (Sim.Engine.schedule_at engine ~time:reinstall_at (fun () ->
+         check_int "expired before reinstall" 0 (C.limiters c);
+         C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1e6));
+  Sim.Engine.run ~until:(reinstall_at + config.C.check_interval) engine;
+  check_int "reinstalled" 1 (C.limiters c);
+  check_int "flap counted" 1 (C.oscillations c)
+
+let refresh_reevaluates_waiting_drain () =
+  (* monitor off, so no ramp: a packet held behind an 80 b/s rate would
+     wait 100 s; a refresh raising the rate must cancel that stale
+     schedule rather than let the packet over-wait on it *)
+  let _, engine, w, _, r1, _ = world () in
+  let c = C.create w ~node:r1 config in
+  C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:80.0;
+  let sent_at = ref None in
+  C.submit c ~out_port:1 ~next_port:(Some 3) ~bytes:1000 ~send:(fun () ->
+      sent_at := Some (Sim.Engine.now engine));
+  ignore
+    (Sim.Engine.schedule_at engine ~time:(Sim.Time.ms 1) (fun () ->
+         C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:8e6));
+  Sim.Engine.run ~until:(Sim.Time.s 2) engine;
+  match !sent_at with
+  | None -> Alcotest.fail "held packet never released"
+  | Some t ->
+    check_bool "released at the refreshed rate, not the stale wait" true
+      (t < Sim.Time.ms 10)
+
+(* property: bucket_bits <= burst cap at every observation point, under
+   arbitrary interleavings of rate raises/cuts, submits, quiet time and
+   the monitor's own ramping *)
+type op = Refresh of float | Advance of int | Submit of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun r -> Refresh r) (float_range 100.0 2e7));
+        (3, map (fun ms -> Advance ms) (int_range 1 40));
+        (2, map (fun b -> Submit b) (int_range 1 2000));
+      ])
+
+let qcheck_bucket_invariant =
+  QCheck.Test.make ~name:"bucket never exceeds burst cap" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) op_gen))
+    (fun ops ->
+      let _, engine, w, _, r1, _ = world () in
+      let c = C.create w ~node:r1 config in
+      C.start c;
+      C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:1e6;
+      List.for_all
+        (fun op ->
+          (match op with
+          | Refresh r -> C.handle_ctl c ~arrival_port:1 ~congested_port:3 ~rate_bps:r
+          | Advance ms ->
+            Sim.Engine.run ~until:(Sim.Engine.now engine + Sim.Time.ms ms) engine
+          | Submit b ->
+            C.submit c ~out_port:1 ~next_port:(Some 3) ~bytes:b ~send:ignore);
+          match C.bucket_level c ~out_port:1 ~next_port:3 with
+          | None -> true (* expired: nothing left to violate *)
+          | Some (bucket, cap) -> bucket <= cap +. 1e-6)
+        ops)
+
 let () =
   Alcotest.run "congestion"
     [
@@ -162,4 +318,20 @@ let () =
           Alcotest.test_case "quiet when uncongested" `Quick monitor_quiet_when_uncongested;
           Alcotest.test_case "idle drains" `Quick idle_controller_drains_event_queue;
         ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "hysteresis refreshes until drained" `Quick
+            hysteresis_refreshes_until_drained;
+          Alcotest.test_case "ramp clamped at line rate" `Quick
+            ramp_clamp_caps_at_line_rate;
+          Alcotest.test_case "unclamped ramp blows past line rate" `Quick
+            unclamped_ramp_blows_past_line_rate;
+          Alcotest.test_case "refreshes hold the rate" `Quick refreshes_hold_the_rate;
+          Alcotest.test_case "flap counted across quiescence" `Quick
+            flap_counted_across_quiescence;
+          Alcotest.test_case "refresh re-evaluates waiting drain" `Quick
+            refresh_reevaluates_waiting_drain;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_bucket_invariant ] );
     ]

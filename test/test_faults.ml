@@ -218,6 +218,49 @@ let crash_wipes_soft_state_and_recovers () =
   check_int "injector crash count" 1 ist.Faults.Injector.crashes;
   check_int "injector restart count" 1 ist.Faults.Injector.restarts
 
+let crash_wipes_limiter_soft_state () =
+  (* congestion limiters are soft state: a crash loses the held packets
+     (counted, never delivered) and the rebuilt router starts clean *)
+  let g, h1, r, h2 = two_hop () in
+  let engine = Sim.Engine.create () in
+  let world = W.create engine g in
+  let router =
+    Router.create world ~node:r
+      ~config:
+        {
+          Router.default_config with
+          Router.congestion = Some Sirpent.Congestion.default_config;
+        }
+      ()
+  in
+  ignore (Sirpent.Host.create world ~node:h1);
+  ignore (Sirpent.Host.create world ~node:h2);
+  let c = Option.get (Router.congestion router) in
+  let module C = Sirpent.Congestion in
+  (* a throttled limiter holding two packets that will never fit its rate *)
+  C.handle_ctl c ~arrival_port:1 ~congested_port:1 ~rate_bps:8.0;
+  let leaked = ref 0 in
+  C.submit c ~out_port:1 ~next_port:(Some 1) ~bytes:1000 ~send:(fun () -> incr leaked);
+  C.submit c ~out_port:1 ~next_port:(Some 1) ~bytes:1000 ~send:(fun () -> incr leaked);
+  check_int "limiter installed" 1 (C.limiters c);
+  check_int "packets held" 2 (C.backlog c);
+  let inj = Faults.Injector.create world in
+  Faults.Injector.crash_router_at inj ~at:(Sim.Time.ms 10)
+    ~down_for:(Sim.Time.ms 20) router;
+  ignore
+    (Sim.Engine.schedule_at engine ~time:(Sim.Time.ms 12) (fun () ->
+         check_int "limiters wiped" 0 (C.limiters c);
+         check_int "held packets dropped" 0 (C.backlog c)));
+  (* after restart the controller accepts fresh signals: soft state
+     rebuilds from traffic instead of resurrecting *)
+  ignore
+    (Sim.Engine.schedule_at engine ~time:(Sim.Time.ms 40) (fun () ->
+         C.handle_ctl c ~arrival_port:1 ~congested_port:1 ~rate_bps:1e6;
+         check_int "fresh limiter installs" 1 (C.limiters c)));
+  Sim.Engine.run ~until:(Sim.Time.ms 50) engine;
+  check_bool "router back up" true (Router.up router);
+  check_int "held packets never leaked out" 0 !leaked
+
 (* --- flapping links --- *)
 
 let flapping_link_recovers () =
@@ -400,6 +443,8 @@ let () =
         [
           Alcotest.test_case "crash wipes soft state" `Quick
             crash_wipes_soft_state_and_recovers;
+          Alcotest.test_case "crash wipes limiter soft state" `Quick
+            crash_wipes_limiter_soft_state;
           Alcotest.test_case "frozen directory serves dead routes" `Quick
             frozen_directory_serves_dead_routes;
         ] );

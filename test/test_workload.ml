@@ -171,6 +171,184 @@ let zipf_identical_across_jobs () =
   in
   Alcotest.(check (list (list int))) "jobs=1 = jobs=4" (run 1) (run 4)
 
+(* --- adversarial generators (E22) --- *)
+
+module G = Topo.Graph
+module A = Workload.Adversary
+
+(* 4 hosts -> r1 -> trunk -> r2 -> 2 hosts: every cross-trunk pair is a
+   route the adversary can aim at r1's trunk queue *)
+let bottleneck () =
+  let g = G.create () in
+  let srcs = Array.init 4 (fun _ -> G.add_node g G.Host) in
+  let r1 = G.add_node g G.Router and r2 = G.add_node g G.Router in
+  Array.iter (fun h -> ignore (G.connect g h r1 G.default_props)) srcs;
+  let trunk = fst (G.connect g r1 r2 G.default_props) in
+  let sinks =
+    Array.init 2 (fun _ ->
+        let h = G.add_node g G.Host in
+        ignore (G.connect g r2 h G.default_props);
+        h)
+  in
+  (g, srcs, sinks, (r1, trunk))
+
+let crossing_pairs_hit_the_target () =
+  let g, srcs, sinks, target = bottleneck () in
+  (* a host hanging off r1 itself is reachable without the trunk *)
+  let local = G.add_node g G.Host in
+  ignore (G.connect g (fst target) local G.default_props);
+  let pairs =
+    A.crossing_pairs g ~target ~sources:srcs
+      ~sinks:(Array.append sinks [| local |])
+  in
+  Alcotest.(check int) "all trunk pairs, no local pair" 8 (Array.length pairs);
+  Array.iter
+    (fun (s, d) ->
+      check_bool "src from sources" true (Array.exists (( = ) s) srcs);
+      check_bool "dst behind the trunk" true (Array.exists (( = ) d) sinks))
+    pairs
+
+let rec time_sorted = function
+  | a :: (b :: _ as rest) -> a.A.at <= b.A.at && time_sorted rest
+  | _ -> true
+
+let adversary_within_envelope () =
+  let g, srcs, sinks, target = bottleneck () in
+  let horizon = Sim.Time.s 2 in
+  List.iter
+    (fun (w, rho_pps, burst_period) ->
+      let rng = Sim.Rng.create 0xE22L in
+      let l =
+        A.adversarial rng g ~target ~sources:srcs ~sinks ~w ~rho_pps
+          ?burst_period ~bytes:1000 ~horizon ()
+      in
+      check_bool "nonempty" true (l <> []);
+      check_bool "time-sorted" true (time_sorted l);
+      check_bool "inside [0,horizon)" true
+        (List.for_all (fun i -> i.A.at >= 0 && i.A.at < horizon) l);
+      check_bool "never violates (w,rho)" true
+        (A.max_burst_excess l ~w ~rho_pps <= 1e-6))
+    [
+      (5, 200.0, None);
+      (1, 50.0, None);
+      (12, 400.0, Some (Sim.Time.ms 50));
+      (24, 100.0, Some (Sim.Time.ms 150));
+    ]
+
+let adversary_rides_the_envelope () =
+  (* sustained mode: the whole burst allowance up front, then exactly ρ —
+     compliant but with zero slack *)
+  let g, srcs, sinks, target = bottleneck () in
+  let rng = Sim.Rng.create 0xE22L in
+  let l =
+    A.adversarial rng g ~target ~sources:srcs ~sinks ~w:5 ~rho_pps:100.0
+      ~bytes:1000 ~horizon:(Sim.Time.s 1) ()
+  in
+  let at_start = List.filter (fun i -> i.A.at = Sim.Time.zero) l in
+  Alcotest.(check int) "leading burst spends all of w" 5 (List.length at_start);
+  check_bool "tight against the constraint" true
+    (abs_float (A.max_burst_excess l ~w:5 ~rho_pps:100.0) < 1e-6);
+  (* and the verifier flags one packet too many *)
+  let violating = { A.at = Sim.Time.zero; src = 0; dst = 1; bytes = 1 } :: l in
+  check_bool "detector flags the extra packet" true
+    (A.max_burst_excess violating ~w:5 ~rho_pps:100.0 >= 1.0 -. 1e-6)
+
+let adversary_volleys_by_period () =
+  (* ρ·T = 400 x 0.05 = 20 >= w = 12: every period admits a full-w volley
+     at a single instant *)
+  let g, srcs, sinks, target = bottleneck () in
+  let rng = Sim.Rng.create 7L in
+  let l =
+    A.adversarial rng g ~target ~sources:srcs ~sinks ~w:12 ~rho_pps:400.0
+      ~burst_period:(Sim.Time.ms 50) ~bytes:1000 ~horizon:(Sim.Time.s 1) ()
+  in
+  Alcotest.(check int) "20 volleys of 12" 240 (List.length l);
+  let volleys = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      Hashtbl.replace volleys i.A.at
+        (1 + Option.value ~default:0 (Hashtbl.find_opt volleys i.A.at)))
+    l;
+  Alcotest.(check int) "one instant per period" 20 (Hashtbl.length volleys);
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "full volley" 12 n) volleys
+
+let incast_rounds_are_synchronized () =
+  let rng = Sim.Rng.create 3L in
+  let l =
+    A.incast rng ~sources:[| 10; 11; 12 |] ~sink:99 ~round_gap:(Sim.Time.ms 10)
+      ~per_source:2 ~bytes:500 ~horizon:(Sim.Time.ms 35) ()
+  in
+  (* rounds fire at 0, 10, 20, 30 ms *)
+  Alcotest.(check int) "4 rounds x 3 sources x 2 packets" 24 (List.length l);
+  check_bool "time-sorted" true (time_sorted l);
+  let rounds = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      Alcotest.(check int) "all aimed at the sink" 99 i.A.dst;
+      Hashtbl.replace rounds i.A.at
+        (1 + Option.value ~default:0 (Hashtbl.find_opt rounds i.A.at)))
+    l;
+  Alcotest.(check int) "4 distinct instants" 4 (Hashtbl.length rounds);
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "whole fan-in at one instant" 6 n)
+    rounds
+
+let flash_crowd_spikes () =
+  let rng = Sim.Rng.create 4L in
+  let l =
+    A.flash_crowd rng
+      ~sources:(Array.init 10 Fun.id)
+      ~hotspots:[| 100; 101 |] ~s:1.1 ~baseline_pps:100.0 ~spike_pps:2000.0
+      ~spike_start:(Sim.Time.ms 200) ~spike_len:(Sim.Time.ms 200) ~bytes:1000
+      ~horizon:(Sim.Time.ms 600) ()
+  in
+  List.iter
+    (fun i -> check_bool "hotspot destination" true (i.A.dst = 100 || i.A.dst = 101))
+    l;
+  let in_spike =
+    List.length
+      (List.filter (fun i -> i.A.at >= Sim.Time.ms 200 && i.A.at < Sim.Time.ms 400) l)
+  in
+  let outside = List.length l - in_spike in
+  (* 0.2 s x 2000 pps ~ 400 in the spike versus 0.4 s x 100 pps ~ 40 out *)
+  check_bool "spike dominates" true (in_spike > 5 * outside);
+  check_bool "baseline present" true (outside > 10);
+  (* zipf-skewed demand: the head source well beyond its uniform share *)
+  let counts = Array.make 10 0 in
+  List.iter (fun i -> counts.(i.A.src) <- counts.(i.A.src) + 1) l;
+  let top = Array.fold_left max 0 counts in
+  check_bool "sources are skewed" true (top * 10 > 2 * List.length l)
+
+let adversary_identical_across_jobs () =
+  (* the E22 sharding contract: schedules seeded from the sweep's rng
+     stream are bit-identical at any --jobs width *)
+  let grid = Array.init 4 Fun.id in
+  let run jobs =
+    let results, _stats =
+      Parallel.Sweep.map ~jobs ~seed:0xE22L grid ~f:(fun ~rng ~index:_ task ->
+          let g, srcs, sinks, target = bottleneck () in
+          let adv =
+            A.adversarial rng g ~target ~sources:srcs ~sinks ~w:(4 + task)
+              ~rho_pps:200.0 ~burst_period:(Sim.Time.ms 40) ~bytes:1000
+              ~horizon:(Sim.Time.ms 400) ()
+          in
+          let flash =
+            A.flash_crowd rng ~sources:srcs ~hotspots:sinks ~s:1.1
+              ~baseline_pps:50.0 ~spike_pps:500.0 ~spike_start:(Sim.Time.ms 100)
+              ~spike_len:(Sim.Time.ms 100) ~bytes:1000 ~horizon:(Sim.Time.ms 300)
+              ()
+          in
+          let inc =
+            A.incast rng ~sources:srcs ~sink:sinks.(0)
+              ~round_gap:(Sim.Time.ms 20) ~per_source:(1 + task) ~bytes:1000
+              ~horizon:(Sim.Time.ms 200) ()
+          in
+          (adv, flash, inc))
+    in
+    Array.to_list results
+  in
+  check_bool "jobs=1 = jobs=4" true (run 1 = run 4)
+
 let () =
   Alcotest.run "workload"
     [
@@ -198,5 +376,19 @@ let () =
           Alcotest.test_case "pmf shape" `Quick zipf_pmf_shape;
           Alcotest.test_case "empirical matches pmf" `Slow zipf_empirical_matches_pmf;
           Alcotest.test_case "identical across jobs" `Quick zipf_identical_across_jobs;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "crossing pairs hit the target" `Quick
+            crossing_pairs_hit_the_target;
+          Alcotest.test_case "within the (w,rho) envelope" `Quick
+            adversary_within_envelope;
+          Alcotest.test_case "rides the envelope" `Quick adversary_rides_the_envelope;
+          Alcotest.test_case "volleys by period" `Quick adversary_volleys_by_period;
+          Alcotest.test_case "incast synchronized rounds" `Quick
+            incast_rounds_are_synchronized;
+          Alcotest.test_case "flash crowd spikes" `Quick flash_crowd_spikes;
+          Alcotest.test_case "identical across jobs" `Quick
+            adversary_identical_across_jobs;
         ] );
     ]
