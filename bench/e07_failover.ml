@@ -59,7 +59,7 @@ let sirpent_failover () =
       (* demote exactly the failed route; in-flight stale calls switching
          off an already-demoted route must not rotate the good one away *)
       match !sroutes with
-      | a :: b when a = failed -> sroutes := b @ [ a ]
+      | a :: b when Sirpent.Route.equal a failed -> sroutes := b @ [ a ]
       | _ -> ());
   let first_after = ref 0 and delivered = ref 0 in
   let rec caller t =

@@ -10,7 +10,7 @@
    Modes (combine freely with experiment ids):
 
      --smoke   shrunk parameter grids for CI-speed runs
-     --json    wired experiments (e2, e6, e12, e18, e19, e20, e21, e22)
+     --json    wired experiments (e2, e6, e12, e18, e19, e20, e21, e22, e23)
                also write BENCH_<exp>.json with machine-readable results
      --jobs n  domain-pool width for grid-shaped experiments (e6, e12,
                e18, e19, e21, e22); default = recommended domain count, 1 = the
@@ -50,6 +50,9 @@ let experiments =
     ( "e22",
       "\xc2\xa72.2 adversarial congestion: (w,\xcf\x81) worst case + auto-tuner",
       E22_adversarial.run );
+    ( "e23",
+      "policy compiler: intents -> routes, in-header failover DAG",
+      E23_policy.run );
   ]
 
 let list_experiments () =
@@ -57,7 +60,7 @@ let list_experiments () =
   List.iter (fun (id, desc, _) -> Printf.printf "  %-4s %s\n" id desc) experiments;
   Printf.printf "  %-4s %s\n" "--micro" "bechamel micro-benchmarks";
   Printf.printf "  %-4s %s\n" "--smoke" "shrunk parameter grids (CI)";
-  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e12 e18 e19 e20 e21 e22)";
+  Printf.printf "  %-4s %s\n" "--json" "also write BENCH_<exp>.json (e2 e6 e12 e18 e19 e20 e21 e22 e23)";
   Printf.printf "  %-4s %s\n" "--jobs n" "domain-pool width for sweeps (1 = serial)";
   Printf.printf "  %-4s %s\n" "--shards n" "widest width for e20's region-parallel cluster"
 

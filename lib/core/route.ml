@@ -27,7 +27,12 @@ let hop_count t = List.length t.segments - 1
 let header_overhead t =
   List.fold_left (fun acc s -> acc + Seg.encoded_size s) 0 t.segments
 
+let equal a b =
+  a.first_port = b.first_port && List.equal Seg.equal a.segments b.segments
+
 let pp fmt t =
   Format.fprintf fmt "@[route(out %d):" t.first_port;
   List.iter (fun s -> Format.fprintf fmt "@ %a" Seg.pp s) t.segments;
   Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -30,4 +30,9 @@ val hop_count : t -> int
 val header_overhead : t -> int
 (** Total encoded size of all segments. *)
 
+val equal : t -> t -> bool
+(** Structural equality: same first port and segment-for-segment equal
+    (ports, flags, priorities, tokens, info, branches). *)
+
 val pp : Format.formatter -> t -> unit
+val to_string : t -> string

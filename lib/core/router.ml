@@ -48,6 +48,7 @@ type stats = {
   cut_throughs : int;
   stored_forwards : int;
   delay_line_circuits : int;  (** re-circulations of blocked packets *)
+  inheader_failovers : int;  (** switches onto an in-header branch route *)
 }
 
 (* The per-router scoreboard lives on the world's telemetry registry
@@ -82,6 +83,7 @@ type t = {
   cut_throughs : C.t;
   stored_forwards : C.t;
   delay_line_circuits : C.t;
+  inheader_failovers : C.t;
 }
 
 let node t = t.node
@@ -107,6 +109,7 @@ let stats t : stats =
     cut_throughs = C.value t.cut_throughs;
     stored_forwards = C.value t.stored_forwards;
     delay_line_circuits = C.value t.delay_line_circuits;
+    inheader_failovers = C.value t.inheader_failovers;
   }
 
 let set_port_group t ~port ~ports =
@@ -458,6 +461,32 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
               C.incr t.parse_errors;
               flight_drop t ~frame ~in_port ~reason:"parse_error"
           end
+          else if
+            Bytes.length seg.Seg.branch > 0
+            && G.link_via (W.graph t.world) t.node seg.Seg.port = None
+          then begin
+            (* Slick-Packets failover: the addressed link is down, but the
+               segment carries an alternate route from this router onward.
+               Substitute it for the rest of the sold route, mark the
+               trailer so the receiver knows the path actually taken, and
+               re-switch locally — no directory round trip. *)
+            match
+              Viper.Trailer.append_branch_marker
+                (Pkt.substitute_route payload ~route:seg.Seg.branch)
+            with
+            | exception
+                ( Invalid_argument _ | Failure _ | Wire.Buf.Underflow
+                | Wire.Buf.Overflow ) ->
+              C.incr t.dropped_malformed;
+              flight_drop t ~frame ~in_port ~reason:"malformed"
+            | payload' ->
+              C.incr t.inheader_failovers;
+              Telemetry.Events.emit (W.events t.world) ~time:(now t)
+                (Telemetry.Events.Inheader_failover
+                   { node = t.node; port = seg.Seg.port });
+              process t ~frame ~payload:payload' ~in_port ~in_info ~head ~tail
+                ~depth:(depth + 1)
+          end
           else
             with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
               ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
@@ -589,6 +618,9 @@ let create ?(config = default_config) ?key world ~node () =
       cut_throughs = cnt "cut_throughs";
       stored_forwards = cnt "stored_forwards";
       delay_line_circuits = cnt "delay_line_circuits";
+      inheader_failovers =
+        cnt "inheader_failovers"
+          ~help:"packets switched onto an in-header branch route";
     }
   in
   W.set_handler world node (handle t);

@@ -60,6 +60,9 @@ type stats = {
   cut_throughs : int;
   stored_forwards : int;
   delay_line_circuits : int;  (** re-circulations of blocked packets *)
+  inheader_failovers : int;
+      (** packets whose addressed link was down but whose leading segment
+          carried a branch route the router switched onto locally *)
 }
 
 type t

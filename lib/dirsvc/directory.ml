@@ -118,6 +118,8 @@ let create ?(per_level_rtt = Sim.Time.ms 2) ?(token_expiry_ms = 0) ?telemetry
    graph's version). *)
 let epoch t = t.dirty + G.version t.graph
 
+let graph t = t.graph
+
 let invalidate_routes t = t.dirty <- t.dirty + 1
 
 let register t ~name ~node =
@@ -187,6 +189,8 @@ let metric_for t selector (l : G.link) =
   | Secure ->
     if is_secure t l.G.link_id then delay_metric t l
     else insecure_penalty +. delay_metric t l
+
+let route_metric t selector l = metric_for t selector l
 
 (* Resolve a candidate path's links once; a vanished link drops the
    candidate (counted) instead of raising into the client callback. *)

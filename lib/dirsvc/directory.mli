@@ -106,6 +106,18 @@ val epoch : t -> int
 (** The current route epoch (monotone; load/cost/security dirt plus the
     graph's topology version). *)
 
+val graph : t -> Topo.Graph.t
+(** The topology the directory answers against — shared with the
+    simulation world, exposed so the policy compiler can run constrained
+    path computations under the same graph (and the same
+    {!Topo.Graph.version} the epoch guards). *)
+
+val route_metric : t -> selector -> Topo.Graph.link -> float
+(** The link metric a given selector optimizes — exactly the function the
+    directory's own SPTs are built with, so external path computations
+    (e.g. the policy compiler's avoid/waypoint legs) rank paths
+    identically to {!query}. *)
+
 val query :
   t -> client:Topo.Graph.node_id -> target:Name.t -> ?selector:selector ->
   ?k:int -> ?priority:Token.Priority.t -> unit -> route_info list

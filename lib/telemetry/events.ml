@@ -7,6 +7,8 @@ type event =
   | Backpressure_off of { node : int; in_port : int; congested_port : int }
   | Backpressure_flap of { node : int; in_port : int; congested_port : int }
   | Route_failover of { entity : int64; route_index : int }
+  | Inheader_failover of { node : int; port : int }
+  | Branch_arrival of { entity : int64 }
   | Directory_frozen of { frozen : bool }
 
 type t = {
@@ -52,6 +54,8 @@ let kind_name = function
   | Backpressure_off _ -> "backpressure_off"
   | Backpressure_flap _ -> "backpressure_flap"
   | Route_failover _ -> "route_failover"
+  | Inheader_failover _ -> "inheader_failover"
+  | Branch_arrival _ -> "branch_arrival"
   | Directory_frozen _ -> "directory_frozen"
 
 let to_string = function
@@ -71,6 +75,10 @@ let to_string = function
       in_port congested_port
   | Route_failover { entity; route_index } ->
     Printf.sprintf "entity %Ld failed over to route %d" entity route_index
+  | Inheader_failover { node; port } ->
+    Printf.sprintf "router %d switched to in-header branch (dead port %d)" node port
+  | Branch_arrival { entity } ->
+    Printf.sprintf "entity %Ld received a packet that took a branch route" entity
   | Directory_frozen { frozen } ->
     if frozen then "directory frozen (serving stale answers)"
     else "directory thawed"

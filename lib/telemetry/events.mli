@@ -21,6 +21,14 @@ type event =
       (** backpressure re-engaged on a feeder right after releasing: one
           on/off oscillation of the rate controller *)
   | Route_failover of { entity : int64; route_index : int }
+  | Inheader_failover of { node : int; port : int }
+      (** a router found the addressed link down and switched the packet
+          onto its in-header branch route, without any directory round
+          trip — [port] is the dead output port *)
+  | Branch_arrival of { entity : int64 }
+      (** a VMTP entity received a packet whose trailer shows it took a
+          branch route — the in-header counterpart of [Route_failover]'s
+          client re-query recovery *)
   | Directory_frozen of { frozen : bool }
 
 type t

@@ -114,6 +114,10 @@ let event_json (time, e) =
       [ ("node", Int node); ("in_port", Int in_port); ("congested_port", Int congested_port) ]
     | Events.Route_failover { entity; route_index } ->
       [ ("entity", String (Int64.to_string entity)); ("route_index", Int route_index) ]
+    | Events.Inheader_failover { node; port } ->
+      [ ("node", Int node); ("port", Int port) ]
+    | Events.Branch_arrival { entity } ->
+      [ ("entity", String (Int64.to_string entity)) ]
     | Events.Directory_frozen { frozen } -> [ ("frozen", Bool frozen) ]
   in
   Obj ((("time", Int time) :: ("event", String (Events.kind_name e)) :: fields))

@@ -93,6 +93,16 @@ val shortest_path :
 (** Dijkstra. [None] if unreachable; [[]] if [src = dst]. The metric must
     be positive. *)
 
+val shortest_path_excluding :
+  t -> metric:(link -> float) -> src:node_id -> dst:node_id ->
+  banned_links:int list -> banned_nodes:node_id list -> hop list option
+(** {!shortest_path} restricted to paths using none of [banned_links] and
+    visiting none of [banned_nodes] — the spur-path primitive behind
+    {!k_shortest_paths}, exposed for constrained route compilation
+    (avoid-node/avoid-region policies, branch routes around a protected
+    link). Same heap keys and relaxation order as {!shortest_path}, so an
+    empty ban list is bit-identical to it. *)
+
 val k_shortest_paths :
   t -> metric:(link -> float) -> src:node_id -> dst:node_id -> k:int ->
   hop list list

@@ -28,6 +28,7 @@ let encode_branches branches =
 let decode_branches bytes =
   let r = Wire.Buf.reader_of_bytes bytes in
   let count = Wire.Buf.get_u8 r in
+  if count = 0 then invalid_arg "Multicast: branch count";
   let read_branch () =
     let len = Wire.Buf.get_u16 r in
     let body = Wire.Buf.get_bytes r len in

@@ -5,7 +5,14 @@ type t = {
 }
 
 let truncated t =
-  List.exists (function Trailer.Truncated -> true | Trailer.Hop _ -> false) t.trailer
+  List.exists
+    (function Trailer.Truncated -> true | Trailer.Hop _ | Trailer.Branch -> false)
+    t.trailer
+
+let took_branch t =
+  List.exists
+    (function Trailer.Branch -> true | Trailer.Hop _ | Trailer.Truncated -> false)
+    t.trailer
 
 let max_transmission_unit = 1500
 let max_route_segments = 48
@@ -64,7 +71,8 @@ let encode t =
       (fun acc entry ->
         match entry with
         | Trailer.Hop seg -> Trailer.append_hop acc seg
-        | Trailer.Truncated -> Trailer.append_truncation_marker acc)
+        | Trailer.Truncated -> Trailer.append_truncation_marker acc
+        | Trailer.Branch -> Trailer.append_branch_marker acc)
       (Bytes.cat base Trailer.empty)
       t.trailer
   in
@@ -99,6 +107,46 @@ let forward bytes ~return_seg =
   let seg, pos = strip_leading_pos bytes in
   (seg, Trailer.append_hop_sub bytes ~pos return_seg)
 
+let encode_route_segments route =
+  if route = [] then invalid_arg "Packet.encode_route_segments: empty route";
+  if List.length route > max_route_segments then
+    invalid_arg "Packet.encode_route_segments: route too long";
+  let route = normalize_vnt route in
+  let size = List.fold_left (fun acc s -> acc + Segment.encoded_size s) 0 route in
+  let w = Wire.Buf.create_writer size in
+  List.iter (Segment.write w) route;
+  Wire.Buf.contents w
+
+let parse_route_segments bytes =
+  let go () =
+    let r = Wire.Buf.reader_of_bytes bytes in
+    let route = read_route r in
+    if Wire.Buf.remaining r <> 0 then
+      invalid_arg "Packet.parse_route_segments: trailing bytes";
+    route
+  in
+  wrap go ()
+
+(* Skip past the remaining route segments (the VNT chain) and splice
+   [route] — pre-encoded, VNT-normalized segment bytes — in their place,
+   keeping data and trailer byte-identical. This is the router's failover
+   step: the branch replaces the rest of the sold route. *)
+let substitute_route bytes ~route =
+  let r = Wire.Buf.reader_of_bytes bytes in
+  let rec skip n =
+    if n > max_route_segments then invalid_arg "Packet: route too long";
+    let seg = Segment.read r in
+    if seg.Segment.flags.Segment.vnt then skip (n + 1)
+  in
+  skip 1;
+  let pos = Wire.Buf.position r in
+  let rest_len = Bytes.length bytes - pos in
+  let rlen = Bytes.length route in
+  let out = Bytes.create (rlen + rest_len) in
+  Bytes.blit route 0 out 0 rlen;
+  Bytes.blit bytes pos out rlen rest_len;
+  out
+
 let truncate_to bytes ~max =
   if max < 0 then invalid_arg "Packet.truncate_to";
   if Bytes.length bytes <= max then bytes
@@ -110,7 +158,9 @@ let truncate_to bytes ~max =
 let return_route_hops t =
   let hops =
     List.filter_map
-      (function Trailer.Hop s -> Some s | Trailer.Truncated -> None)
+      (function
+        | Trailer.Hop s -> Some s
+        | Trailer.Truncated | Trailer.Branch -> None)
       t.trailer
   in
   let reversed =

@@ -18,6 +18,11 @@ type t = {
 val truncated : t -> bool
 (** The trailer records that a router truncated this packet. *)
 
+val took_branch : t -> bool
+(** The trailer records that a router switched this packet onto an
+    in-header branch route mid-flight (the Slick-Packets failover path).
+    The return route is still valid — it is the path actually taken. *)
+
 val max_transmission_unit : int
 (** 1500 bytes — "The VIPER transmission unit is 1500 bytes" (§5). *)
 
@@ -69,6 +74,22 @@ val forward : bytes -> return_seg:Segment.t -> Segment.t * bytes
     [return_seg] to the trailer, and return [(stripped, forwarded_bytes)].
     [return_seg] is the stripped segment revised by the caller (return
     port, swapped network info, RPF set). *)
+
+val encode_route_segments : Segment.t list -> bytes
+(** Encode a segment list alone (no data, no trailer), VNT-normalized —
+    the representation carried in a segment's [branch] field. Raises like
+    {!build} on an empty or over-long route. *)
+
+val parse_route_segments : bytes -> (Segment.t list, error) result
+(** Inverse of {!encode_route_segments}; requires the buffer to contain
+    exactly the VNT-chained segments. *)
+
+val substitute_route : bytes -> route:bytes -> bytes
+(** [substitute_route packet ~route] replaces the packet's entire
+    remaining route (the leading VNT chain) with the pre-encoded segment
+    bytes [route], keeping data and trailer untouched — the router-local
+    failover step when the addressed link is down and the leading segment
+    carries a branch. Raises on malformed input. *)
 
 val truncate_to : bytes -> max:int -> bytes
 (** Model of cut-through truncation at an MTU boundary: keep the first

@@ -6,6 +6,7 @@ type t = {
   priority : Token.Priority.t;
   token : bytes;
   info : bytes;
+  branch : bytes;
 }
 
 let no_flags = { vnt = false; dib = false; rpf = false }
@@ -20,19 +21,28 @@ let extended = 255
 let max_field = 65535
 
 let make ?(flags = no_flags) ?(priority = Token.Priority.normal) ?(token = Bytes.empty)
-    ?(info = Bytes.empty) ~port () =
+    ?(info = Bytes.empty) ?(branch = Bytes.empty) ~port () =
   if port < 0 || port > 255 then invalid_arg "Segment.make: port";
   if not (Token.Priority.valid priority) then invalid_arg "Segment.make: priority";
   if Bytes.length token > max_field then invalid_arg "Segment.make: token too long";
   if Bytes.length info > max_field then invalid_arg "Segment.make: info too long";
-  { port; flags; priority; token; info }
+  if Bytes.length branch > max_field then invalid_arg "Segment.make: branch too long";
+  { port; flags; priority; token; info; branch }
 
 let field_wire_size b =
   let n = Bytes.length b in
   if n < extended then n else n + 4
 
-let encoded_size t = fixed_size + field_wire_size t.token + field_wire_size t.info
+let branch_wire_size t =
+  if Bytes.length t.branch = 0 then 0 else 2 + Bytes.length t.branch
 
+let encoded_size t =
+  fixed_size + field_wire_size t.token + field_wire_size t.info + branch_wire_size t
+
+(* Bit 0x1 of the flags nibble (BRF, "branch route follows") is derived
+   from the branch field, never stored: a segment with no branch encodes
+   byte-identically to the pre-DAG wire format, so legacy packets are
+   untouched. *)
 let flags_bits f =
   (if f.vnt then 0x8 else 0) lor (if f.dib then 0x4 else 0) lor (if f.rpf then 0x2 else 0)
 
@@ -47,13 +57,21 @@ let write_field w b =
   if Bytes.length b >= extended then Wire.Buf.put_u32_int w (Bytes.length b);
   Wire.Buf.put_bytes w b
 
+let brf_bit = 0x1
+
 let write w t =
+  let has_branch = Bytes.length t.branch > 0 in
+  let bits = flags_bits t.flags lor (if has_branch then brf_bit else 0) in
   Wire.Buf.put_u8 w (length_byte t.info);
   Wire.Buf.put_u8 w (length_byte t.token);
   Wire.Buf.put_u8 w t.port;
-  Wire.Buf.put_u8 w ((flags_bits t.flags lsl 4) lor (t.priority land 0xF));
+  Wire.Buf.put_u8 w ((bits lsl 4) lor (t.priority land 0xF));
   write_field w t.token;
-  write_field w t.info
+  write_field w t.info;
+  if has_branch then begin
+    Wire.Buf.put_u16 w (Bytes.length t.branch);
+    Wire.Buf.put_bytes w t.branch
+  end
 
 let read_field r len_byte =
   if len_byte < extended then Wire.Buf.get_bytes r len_byte
@@ -67,11 +85,19 @@ let read r =
   let token_len = Wire.Buf.get_u8 r in
   let port = Wire.Buf.get_u8 r in
   let fp = Wire.Buf.get_u8 r in
-  let flags = flags_of_bits (fp lsr 4) in
+  let bits = fp lsr 4 in
+  let flags = flags_of_bits bits in
   let priority = fp land 0xF in
   let token = read_field r token_len in
   let info = read_field r info_len in
-  { port; flags; priority; token; info }
+  let branch =
+    if bits land brf_bit <> 0 then begin
+      let n = Wire.Buf.get_u16 r in
+      if n = 0 then failwith "Segment.read: empty branch" else Wire.Buf.get_bytes r n
+    end
+    else Bytes.empty
+  in
+  { port; flags; priority; token; info; branch }
 
 let encode t =
   let w = Wire.Buf.create_writer (encoded_size t) in
@@ -104,10 +130,14 @@ let peek_port b ~off = Char.code (Bytes.get b (off + 2))
 let equal a b =
   a.port = b.port && a.flags = b.flags && a.priority = b.priority
   && Bytes.equal a.token b.token && Bytes.equal a.info b.info
+  && Bytes.equal a.branch b.branch
 
 let pp fmt t =
-  Format.fprintf fmt "@[seg{port=%d%s%s%s prio=%X tok=%dB info=%dB}@]" t.port
+  Format.fprintf fmt "@[seg{port=%d%s%s%s%s prio=%X tok=%dB info=%dB}@]" t.port
     (if t.flags.vnt then " VNT" else "")
     (if t.flags.dib then " DIB" else "")
     (if t.flags.rpf then " RPF" else "")
+    (if Bytes.length t.branch > 0 then
+       Printf.sprintf " BRF:%dB" (Bytes.length t.branch)
+     else "")
     t.priority (Bytes.length t.token) (Bytes.length t.info)

@@ -36,13 +36,20 @@ type t = {
   priority : Token.Priority.t;
   token : bytes;  (** port token; empty = absent *)
   info : bytes;  (** network-specific portInfo; empty = void *)
+  branch : bytes;
+      (** Slick-Packets-style alternate route (encoded segment list) the
+          router may substitute for the remainder of the route when the
+          addressed output port's link is down; empty = none. On the wire,
+          flag bit 0x1 ("branch route follows", BRF) is set iff non-empty
+          and a [u16 length + bytes] field follows portInfo — a branchless
+          segment encodes byte-identically to the legacy format. *)
 }
 
 val no_flags : flags
 
 val make :
   ?flags:flags -> ?priority:Token.Priority.t -> ?token:bytes -> ?info:bytes ->
-  port:int -> unit -> t
+  ?branch:bytes -> port:int -> unit -> t
 (** Raises [Invalid_argument] for a port outside 0-255, an invalid
     priority, or a field longer than {!max_field}. *)
 

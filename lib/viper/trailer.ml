@@ -1,7 +1,8 @@
-type entry = Hop of Segment.t | Truncated
+type entry = Hop of Segment.t | Truncated | Branch
 
 let marker = 0xFFFF
-let max_entry = 0xFFFE
+let branch_marker = 0xFFFE
+let max_entry = 0xFFFD
 
 (* Integrity bytes: XOR over the protected bytes, seeded so an all-zero
    run does not self-validate. A single flipped bit anywhere in a hop
@@ -50,6 +51,7 @@ let entries packet =
     else begin
       let len = read_u16_at packet (pos - 2) in
       if len = marker then walk (pos - 2) (Truncated :: acc)
+      else if len = branch_marker then walk (pos - 2) (Branch :: acc)
       else begin
         let seg_start = pos - 3 - len in
         if seg_start < start then invalid_arg "Trailer: entry exceeds trailer";
@@ -129,4 +131,9 @@ let append_hop_sub packet ~pos seg =
 let append_truncation_marker packet =
   let w = Wire.Buf.create_writer 2 in
   Wire.Buf.put_u16 w marker;
+  with_appended packet (Wire.Buf.contents w)
+
+let append_branch_marker packet =
+  let w = Wire.Buf.create_writer 2 in
+  Wire.Buf.put_u16 w branch_marker;
   with_appended packet (Wire.Buf.contents w)

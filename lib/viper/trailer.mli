@@ -28,7 +28,14 @@
     severs the trailer cleanly cannot leave payload bytes posing as an
     empty one. *)
 
-type entry = Hop of Segment.t | Truncated
+type entry =
+  | Hop of Segment.t
+  | Truncated
+  | Branch
+      (** A router switched the packet onto an in-header branch route at
+          this point — the hops that follow are from the branch, not the
+          route the sender laid down. Encoded as the reserved length value
+          0xFFFE (no segment bytes), mirroring the truncation marker. *)
 
 val empty : bytes
 (** The 3-byte trailer of a freshly built packet (total = 0). *)
@@ -60,5 +67,11 @@ val append_hop_sub : bytes -> pos:int -> Segment.t -> bytes
 
 val append_truncation_marker : bytes -> bytes
 
+val append_branch_marker : bytes -> bytes
+(** Record in the trailer that the remainder of the path is an in-header
+    branch route, so the receiver knows the reverse route it rebuilds is
+    the path {e actually taken}, not the one originally sold. *)
+
 val max_entry : int
-(** Largest legal entry segment (0xFFFE bytes); larger raises. *)
+(** Largest legal entry segment (0xFFFD bytes); larger raises. 0xFFFF and
+    0xFFFE are reserved length values (truncation and branch markers). *)

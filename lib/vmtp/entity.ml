@@ -36,6 +36,7 @@ type stats = {
   rejected_old : int;
   duplicate_requests : int;
   route_switches : int;
+  branch_arrivals : int;
   calls_completed : int;
   calls_failed : int;
 }
@@ -96,6 +97,7 @@ type t = {
   rejected_old : C.t;
   duplicate_requests : C.t;
   route_switches : C.t;
+  branch_arrivals : C.t;
   calls_completed : C.t;
   calls_failed : C.t;
 }
@@ -113,6 +115,7 @@ let stats t : stats =
     rejected_old = C.value t.rejected_old;
     duplicate_requests = C.value t.duplicate_requests;
     route_switches = C.value t.route_switches;
+    branch_arrivals = C.value t.branch_arrivals;
     calls_completed = C.value t.calls_completed;
     calls_failed = C.value t.calls_failed;
   }
@@ -463,6 +466,16 @@ let on_host_receive t _host ~packet ~in_port =
            ~timestamp_ms:p.Wf.timestamp_ms)
     then C.incr t.rejected_old
     else begin
+      (* The trailer tells us which recovery mechanism ran: a branch
+         marker means a router failed over in-header, the counterpart of
+         the client-side Route_failover re-query ladder. *)
+      if Viper.Packet.took_branch packet then begin
+        C.incr t.branch_arrivals;
+        Telemetry.Events.emit
+          (W.events (world t))
+          ~time:(now t)
+          (Telemetry.Events.Branch_arrival { entity = t.id })
+      end;
       let sample = (packet, in_port) in
       match p.Wf.kind with
       | Wf.Request -> handle_request t p ~sample
@@ -497,6 +510,9 @@ let create ?(config = default_config) host ~id =
       rejected_old = cnt "rejected_old" ~help:"arrivals outside the MPL acceptance window";
       duplicate_requests = cnt "duplicate_requests";
       route_switches = cnt "route_switches" ~help:"failovers to an alternate source route";
+      branch_arrivals =
+        cnt "branch_arrivals"
+          ~help:"arrivals whose trailer shows an in-header branch was taken";
       calls_completed = cnt "calls_completed";
       calls_failed = cnt "calls_failed";
     }
@@ -542,3 +558,13 @@ let call t ~server ~routes ?(priority = Token.Priority.normal) ~data ~on_reply
     send_group t ~route:(current_route call) ~priority call.request_packets
       ~indices:(List.init group_size (fun i -> i));
     arm_timer t call
+
+(* Policy-route mode: the compiled primary (which may carry in-header
+   branch routes) first, then the compiled alternates as the client-side
+   failover ladder. When the primary's DAG absorbs a link failure the
+   ladder is never climbed — E23 measures exactly that difference. *)
+let call_compiled t ~server ~compiled ?priority ~data ~on_reply ~on_fail () =
+  let routes =
+    compiled.Policy.Compiler.route :: compiled.Policy.Compiler.alternates
+  in
+  call t ~server ~routes ?priority ~data ~on_reply ~on_fail ()

@@ -34,6 +34,9 @@ type stats = {
   rejected_old : int;  (** MPL rule discards *)
   duplicate_requests : int;  (** replayed from the response hold *)
   route_switches : int;
+  branch_arrivals : int;
+      (** arrivals whose trailer shows a router failed over in-header —
+          recovery that never reached this entity's retry ladder *)
   calls_completed : int;
   calls_failed : int;
 }
@@ -68,3 +71,13 @@ val call :
 (** Run a message transaction. [routes] are tried in order; exactly one of
     the callbacks eventually fires. Raises [Invalid_argument] if [data]
     needs more than 32 packets. *)
+
+val call_compiled :
+  t -> server:int64 -> compiled:Policy.Compiler.compiled ->
+  ?priority:Token.Priority.t -> data:bytes ->
+  on_reply:(bytes -> rtt:Sim.Time.t -> unit) -> on_fail:(string -> unit) ->
+  unit -> unit
+(** {!call} in policy-route mode: the compiled primary (with any in-header
+    branch routes) first, the compiled alternates as the re-query ladder.
+    A link failure absorbed by an in-header branch shows up as a
+    [branch_arrivals] tick instead of a [route_switches] one. *)

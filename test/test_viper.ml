@@ -323,6 +323,89 @@ let multicast_rejects_bad () =
   Alcotest.check_raises "empty branch" (Invalid_argument "Multicast: empty branch")
     (fun () -> ignore (Viper.Multicast.encode_branches [ [] ]))
 
+let multicast_truncated_list () =
+  let enc =
+    Viper.Multicast.encode_branches
+      [
+        [ Seg.make ~port:1 (); Seg.make ~port:0 () ];
+        [ Seg.make ~port:2 (); Seg.make ~port:0 () ];
+      ]
+  in
+  (* cut mid-branch: the decoder must underflow, not return a partial list *)
+  (match Viper.Multicast.decode_branches (Bytes.sub enc 0 (Bytes.length enc - 3)) with
+  | exception Wire.Buf.Underflow -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "truncated branch list must not decode");
+  (* bytes after the last declared branch are equally malformed *)
+  Alcotest.check_raises "trailing bytes" (Invalid_argument "Multicast: trailing bytes")
+    (fun () ->
+      ignore (Viper.Multicast.decode_branches (Bytes.cat enc (Bytes.make 2 '\x00'))))
+
+let multicast_zero_targets () =
+  (* a count byte of zero is not a legal tree on the wire either *)
+  Alcotest.check_raises "decode zero" (Invalid_argument "Multicast: branch count")
+    (fun () -> ignore (Viper.Multicast.decode_branches (Bytes.make 1 '\x00')))
+
+let multicast_max_fanout () =
+  let branch i = [ Seg.make ~port:(1 + (i mod 200)) (); Seg.make ~port:0 () ] in
+  let at n = List.init n branch in
+  let decoded = Viper.Multicast.decode_branches (Viper.Multicast.encode_branches (at 255)) in
+  check_int "255 branches roundtrip" 255 (List.length decoded);
+  Alcotest.check_raises "256 rejected" (Invalid_argument "Multicast: branch count")
+    (fun () -> ignore (Viper.Multicast.encode_branches (at 256)))
+
+(* --- in-header branch routes --- *)
+
+let branch_segment_roundtrip () =
+  let alt =
+    Viper.Packet.encode_route_segments [ Seg.make ~port:7 (); Seg.make ~port:0 () ]
+  in
+  let seg = Seg.make ~port:3 ~branch:alt () in
+  let seg' = Seg.decode (Seg.encode seg) in
+  check_bool "roundtrip equal" true (Seg.equal seg seg');
+  check_bool "branch bytes preserved" true (Bytes.equal alt seg'.Seg.branch);
+  check_int "size matches wire" (Seg.encoded_size seg) (Bytes.length (Seg.encode seg));
+  (* the branch route itself parses back *)
+  match Viper.Packet.parse_route_segments seg'.Seg.branch with
+  | Ok [ a; b ] ->
+    check_int "alt hop" 7 a.Seg.port;
+    check_int "alt local" 0 b.Seg.port
+  | _ -> Alcotest.fail "embedded branch must parse as two segments"
+
+let branchless_byte_identity () =
+  (* the brf flag is derived at write time: a segment without a branch must
+     encode byte-identically to the pre-branch wire format *)
+  let seg = Seg.make ~flags:{ Seg.no_flags with Seg.vnt = true } ~port:9 () in
+  let enc = Seg.encode seg in
+  check_int "4-byte minimal prefix" 4 (Bytes.length enc);
+  check_int "flags nibble has no brf bit" 0 (Char.code (Bytes.get enc 3) land 0x10)
+
+let trailer_branch_marker () =
+  let route = [ Seg.make ~port:5 (); Seg.make ~port:0 () ] in
+  let p = Pkt.build ~route ~data:(Bytes.of_string "hi") in
+  let seg, p = Pkt.forward p ~return_seg:(Seg.make ~flags:{ Seg.no_flags with Seg.rpf = true } ~port:2 ()) in
+  check_int "stripped first hop" 5 seg.Seg.port;
+  let p = Viper.Trailer.append_branch_marker p in
+  let d = Pkt.decode p in
+  check_bool "took_branch" true (Pkt.took_branch d);
+  check_bool "not truncated" false (Pkt.truncated d);
+  (* the marker annotates the trailer without poisoning the return route *)
+  check_int "return route still one hop" 1 (List.length (Pkt.return_route d));
+  match Viper.Trailer.entries p with
+  | [ Viper.Trailer.Hop _; Viper.Trailer.Branch ] -> ()
+  | _ -> Alcotest.fail "trailer must read [Hop; Branch]"
+
+let substitute_route_swaps_chain () =
+  let route = [ Seg.make ~port:1 (); Seg.make ~port:2 (); Seg.make ~port:0 () ] in
+  let p = Pkt.build ~route ~data:(Bytes.of_string "payload") in
+  let alt =
+    Pkt.encode_route_segments [ Seg.make ~port:8 (); Seg.make ~port:0 () ]
+  in
+  let d = Pkt.decode (Pkt.substitute_route p ~route:alt) in
+  check_int "route replaced" 2 (List.length d.Pkt.route);
+  check_int "new first hop" 8 (List.hd d.Pkt.route).Seg.port;
+  check_string "data untouched" "payload" (Bytes.to_string d.Pkt.data)
+
 let tree_segment_port () =
   let seg =
     Viper.Multicast.tree_segment
@@ -342,9 +425,11 @@ let segment_gen =
     let* rpf = bool in
     let* token = string_size (int_range 0 300) in
     let* info = string_size (int_range 0 300) in
+    let* branch = string_size (int_range 0 100) in
     return
       (Seg.make ~flags:{ Seg.vnt; dib; rpf } ~priority
-         ~token:(Bytes.of_string token) ~info:(Bytes.of_string info) ~port ()))
+         ~token:(Bytes.of_string token) ~info:(Bytes.of_string info)
+         ~branch:(Bytes.of_string branch) ~port ()))
 
 let qcheck_segment_roundtrip =
   QCheck.Test.make ~name:"segment roundtrip (any fields)" ~count:300
@@ -434,7 +519,17 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick multicast_roundtrip;
           Alcotest.test_case "rejects bad" `Quick multicast_rejects_bad;
+          Alcotest.test_case "truncated list" `Quick multicast_truncated_list;
+          Alcotest.test_case "zero targets" `Quick multicast_zero_targets;
+          Alcotest.test_case "max fan-out" `Quick multicast_max_fanout;
           Alcotest.test_case "tree segment" `Quick tree_segment_port;
+        ] );
+      ( "branch routes",
+        [
+          Alcotest.test_case "segment roundtrip" `Quick branch_segment_roundtrip;
+          Alcotest.test_case "branchless byte identity" `Quick branchless_byte_identity;
+          Alcotest.test_case "trailer marker" `Quick trailer_branch_marker;
+          Alcotest.test_case "substitute route" `Quick substitute_route_swaps_chain;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
