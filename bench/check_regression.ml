@@ -2,7 +2,8 @@
    its committed baseline in bench/baselines/.
 
      check_regression.exe [--tolerance 0.25] [--min-speedup X]
-                          [--min-ratio KEY X]... BASELINE CURRENT
+                          [--min-ratio KEY X]... [--max-ratio KEY X]...
+                          BASELINE CURRENT
 
    The simulations are deterministic (seeded RNG streams, virtual time),
    so the guarded numbers are exactly reproducible on any machine; the
@@ -284,12 +285,29 @@ let check_min_ratio v ~key ~floor cur =
       fail_check v "$.%s: missing from current file (required by --min-ratio)" key)
   | _ -> fail_check v "--min-ratio: current file is not a JSON object"
 
+(* [--max-ratio KEY X] (repeatable): the dual ceiling, for lower-is-better
+   ratio metrics (overhead ratios, null-message ratios). Also checked on
+   CURRENT only. *)
+let check_max_ratio v ~key ~ceiling cur =
+  v.checked <- v.checked + 1;
+  match cur with
+  | Obj fields -> (
+    match List.assoc_opt key fields with
+    | Some (Num s) ->
+      if s > ceiling then
+        fail_check v "$.%s: %g above required maximum %g" key s ceiling
+    | Some _ -> fail_check v "$.%s: not a number" key
+    | None ->
+      fail_check v "$.%s: missing from current file (required by --max-ratio)" key)
+  | _ -> fail_check v "--max-ratio: current file is not a JSON object"
+
 let check_min_speedup v ~floor cur = check_min_ratio v ~key:"speedup_vs_serial" ~floor cur
 
 let () =
   let tolerance = ref 0.25 in
   let min_speedup = ref None in
   let min_ratios = ref [] in
+  let max_ratios = ref [] in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -312,6 +330,13 @@ let () =
       | Some f -> min_ratios := (key, f) :: !min_ratios
       | None ->
         prerr_endline "--min-ratio expects KEY FLOAT";
+        exit 2);
+      parse_args rest
+    | "--max-ratio" :: key :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some f -> max_ratios := (key, f) :: !max_ratios
+      | None ->
+        prerr_endline "--max-ratio expects KEY FLOAT";
         exit 2);
       parse_args rest
     | a :: rest ->
@@ -339,6 +364,9 @@ let () =
     | Some floor -> check_min_speedup v ~floor cur
     | None -> ());
     List.iter (fun (key, floor) -> check_min_ratio v ~key ~floor cur) (List.rev !min_ratios);
+    List.iter
+      (fun (key, ceiling) -> check_max_ratio v ~key ~ceiling cur)
+      (List.rev !max_ratios);
     if v.failures = [] then begin
       Printf.printf "check_regression: %s vs %s: %d guarded values ok (tolerance %.0f%%)\n"
         baseline_file current_file v.checked (!tolerance *. 100.0);
@@ -355,5 +383,5 @@ let () =
     end
   | _ ->
     prerr_endline
-      "usage: check_regression [--tolerance 0.25] [--min-speedup X] [--min-ratio KEY X]... BASELINE CURRENT";
+      "usage: check_regression [--tolerance 0.25] [--min-speedup X] [--min-ratio KEY X]... [--max-ratio KEY X]... BASELINE CURRENT";
     exit 2

@@ -127,7 +127,8 @@ let measure ~shards ~hosts_per_region ~packets =
         hs)
     hosts;
   let until = Sim.Time.ms 1 + (packets * Sim.Time.us 200) + Sim.Time.ms 20 in
-  let stats = S.run ~shards ~until cluster in
+  let epoch = if !Util.rebalance then Some Util.rebalance_epoch else None in
+  let stats = S.run ~shards ?epoch ~until cluster in
   {
     c_shards = shards;
     c_stats = stats;
@@ -219,9 +220,23 @@ let run () =
         "identical";
       ]
     rows;
+  Util.subheading "per-region load (serial run: deterministic service counters)";
+  Util.table
+    ~header:[ "region"; "rounds"; "advances"; "null msgs"; "events" ]
+    (Array.to_list
+       (Array.mapi
+          (fun r (l : S.region_load) ->
+            [
+              Util.i r; Util.i l.S.rounds; Util.i l.S.advances;
+              Util.i l.S.null_messages; Util.i l.S.events;
+            ])
+          serial.c_stats.S.per_region));
   pf
     "\nspeedup vs serial at --shards %d: %.2fx (telemetry bit-identical at every width)\n"
     last.c_shards speedup;
+  if !Util.rebalance then
+    pf "re-balancing on: %d epochs, %d ownership migrations at the widest run.\n"
+      last.c_stats.S.epochs last.c_stats.S.migrations;
   pf
     "null-message overhead: %d promise publications over %d sync rounds at the widest run.\n"
     last.c_stats.S.null_messages last.c_stats.S.rounds;
@@ -232,6 +247,20 @@ let run () =
   let json_rows =
     List.map
       (fun c ->
+        let per_region =
+          Array.to_list
+            (Array.mapi
+               (fun r (l : S.region_load) ->
+                 Util.J.Obj
+                   [
+                     ("region", Util.J.Int r);
+                     ("rounds", Util.J.Int l.S.rounds);
+                     ("advances", Util.J.Int l.S.advances);
+                     ("null_messages", Util.J.Int l.S.null_messages);
+                     ("events", Util.J.Int l.S.events);
+                   ])
+               c.c_stats.S.per_region)
+        in
         Util.J.Obj
           [
             ("shards", Util.J.Int c.c_shards);
@@ -243,9 +272,12 @@ let run () =
             ("sync_rounds", Util.J.Int c.c_stats.S.rounds);
             ("null_messages", Util.J.Int c.c_stats.S.null_messages);
             ("cross_frames", Util.J.Int c.c_stats.S.cross_frames);
+            ("epochs", Util.J.Int c.c_stats.S.epochs);
+            ("migrations", Util.J.Int c.c_stats.S.migrations);
             ("delivered", Util.J.Int c.c_delivered);
             ("dropped_total", Util.J.Int (dropped_total c.c_rows));
             ("identical_to_serial", Util.J.Bool (identical c));
+            ("per_region", Util.J.List per_region);
           ])
       cells
   in

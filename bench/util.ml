@@ -21,6 +21,15 @@ let jobs = ref (Parallel.Pool.default_jobs ())
    a stable shape across machines. *)
 let shards = ref 4
 
+(* [--rebalance] turns on epoch-based load-adaptive re-balancing in the
+   region-parallel experiments (e20 parks at quiescent points and
+   re-packs shard ownership from executed-event deltas; e25 always runs
+   its re-balanced arms and ignores the flag). Merged telemetry is
+   bit-identical with or without it — only wall clock may change. *)
+let rebalance = ref false
+
+let rebalance_epoch = Sim.Time.ms 5
+
 let scaled ~full ~smoke = if !smoke_mode then smoke else full
 
 (* One sweep seed for the whole harness: every grid point derives its RNG

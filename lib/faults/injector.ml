@@ -54,6 +54,16 @@ let stats t =
 
 let world t = t.world
 
+(* Shard-resident injection: one injector per region world, each with a
+   stream that is a pure function of (base seed, region) — splitmix64
+   over the region index — so a region-sharded fault matrix replays the
+   same damage per region at every shard width, including serial. *)
+let region_seed ~base ~region =
+  let z = Int64.add base (Int64.mul (Int64.of_int (region + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
 let on_corrupted t (spec : Corrupt.spec) bits =
   C.incr t.c.c_frames_corrupted;
   C.add t.c.c_bits_flipped bits;

@@ -33,6 +33,13 @@ val create : ?seed:int64 -> Netsim.World.t -> t
 val stats : t -> stats
 val world : t -> Netsim.World.t
 
+val region_seed : base:int64 -> region:int -> int64
+(** Derive the seed for region [region]'s shard-resident injector from
+    one experiment seed (splitmix64 over the region index): streams are
+    decorrelated across regions yet a pure function of (base, region),
+    so a region-sharded fault matrix replays identical per-region damage
+    at every shard width, including the serial reference. *)
+
 (** {1 Corruption} *)
 
 val set_link_corruption : t -> link:Topo.Graph.link -> Corrupt.spec -> unit

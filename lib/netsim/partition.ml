@@ -36,6 +36,7 @@ type t = {
 type error =
   | Zero_latency_gateway of G.link
   | Bad_region of { node : G.node_id; region : int }
+  | Unsplittable of { region : int; atoms : int }
 
 let pp_error ppf = function
   | Zero_latency_gateway l ->
@@ -44,6 +45,10 @@ let pp_error ppf = function
       l.G.link_id l.G.a l.G.b
   | Bad_region { node; region } ->
     Format.fprintf ppf "node %d assigned to invalid region %d" node region
+  | Unsplittable { region; atoms } ->
+    Format.fprintf ppf
+      "region %d cannot be split: %d atom(s) after contracting zero-latency links"
+      region atoms
 
 let split full ~region =
   let n = G.node_count full in
@@ -107,6 +112,83 @@ let split full ~region =
           gateways = Array.of_list (List.rev !gateways);
           lookahead;
         })
+
+(* Over-decomposition: split one region of an existing partition into
+   [ways] sub-regions, leaving every other region number untouched (the
+   first sub-region keeps the old number; the rest are appended after
+   the current regions), so profile tables indexed by original region
+   stay valid while more shards become available to pack over workers.
+
+   Any internal link that ends up crossing sub-regions becomes a gateway
+   and must have positive propagation, so nodes joined by zero-latency
+   links are first contracted into atoms (union-find); atoms are then
+   LPT-packed into the sub-regions by total node weight (sort by weight
+   descending, representative id ascending; place on the lightest bin,
+   lowest bin first) — deterministic, so a profile-guided refinement
+   replays identically on every run. A region that contracts to a single
+   atom cannot be split: [Unsplittable], which callers count and degrade
+   from rather than raise. *)
+let refine ?(weight = fun (_ : G.node_id) -> 1) t ~region:target ~ways =
+  if target < 0 || target >= t.regions then
+    invalid_arg "Partition.refine: no such region";
+  if ways <= 1 then Ok t
+  else begin
+    let n = G.node_count t.full in
+    (* union-find over the target region's nodes, contracting
+       zero-latency internal links *)
+    let parent = Array.init n (fun id -> id) in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then parent.(max ra rb) <- min ra rb
+    in
+    List.iter
+      (fun (l : G.link) ->
+        if
+          t.region_of.(l.G.a) = target
+          && t.region_of.(l.G.b) = target
+          && l.G.props.G.propagation <= 0
+        then union l.G.a l.G.b)
+      (G.links t.full);
+    let atom_weight = Hashtbl.create 16 in
+    for id = 0 to n - 1 do
+      if t.region_of.(id) = target then begin
+        let root = find id in
+        let w = Option.value ~default:0 (Hashtbl.find_opt atom_weight root) in
+        Hashtbl.replace atom_weight root (w + max 1 (weight id))
+      end
+    done;
+    let atoms =
+      List.sort
+        (fun (ra, wa) (rb, wb) ->
+          match compare wb wa with 0 -> compare ra rb | c -> c)
+        (Hashtbl.fold (fun root w acc -> (root, w) :: acc) atom_weight [])
+    in
+    let n_atoms = List.length atoms in
+    if n_atoms < 2 then Error (Unsplittable { region = target; atoms = n_atoms })
+    else begin
+      let bins = min ways n_atoms in
+      let load = Array.make bins 0 in
+      let bin_of_root = Hashtbl.create 16 in
+      List.iter
+        (fun (root, w) ->
+          let b = ref 0 in
+          for j = 1 to bins - 1 do
+            if load.(j) < load.(!b) then b := j
+          done;
+          Hashtbl.replace bin_of_root root !b;
+          load.(!b) <- load.(!b) + w)
+        atoms;
+      let region id =
+        if t.region_of.(id) <> target then t.region_of.(id)
+        else
+          match Hashtbl.find bin_of_root (find id) with
+          | 0 -> target
+          | b -> t.regions + b - 1
+      in
+      split t.full ~region
+    end
+  end
 
 (* "the region field of node addresses": region membership is carried in
    node names — the trailing integer after the last "campus" or "region"

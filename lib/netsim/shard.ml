@@ -14,7 +14,15 @@
    Channel dir indices are disjoint and every producer is deterministic,
    so the key — and hence the execution order — is independent of the
    domain schedule, and any shard count replays the identical event
-   sequence. *)
+   sequence.
+
+   Promises are per directed gateway channel: each region's shard clock
+   keeps one {!Sim.Shard_engine} edge per egress dir, with that edge's
+   own lookahead — the gateway link's propagation, plus the minimum
+   transmission time when the trunk is operated store-and-forward (its
+   {!profile}). A consumer's safe time is the min over only its own
+   incoming dirs, so a producer with several neighbors bounds each by
+   the tightest edge-local promise instead of one region-wide scalar. *)
 
 module G = Topo.Graph
 
@@ -29,6 +37,25 @@ type message = {
   aborted : bool;
   carried : Telemetry.Flight.carried option;
 }
+
+type profile = {
+  store_and_forward : bool;
+      (** operate the gateway link store-and-forward in both region
+          worlds: heads leave only fully serialized, which is what makes
+          the [min_frame_bytes] term of the lookahead sound *)
+  min_frame_bytes : int;
+      (** smallest frame the workload sends over this trunk; adds the
+          matching transmission time to both dirs' lookaheads when
+          [store_and_forward] is set, ignored otherwise (under
+          cut-through a head outruns serialization) *)
+  seal : bool;
+      (** declare the trunk sealed — no preemptive priorities and no
+          crash-purged endpoints — enabling the dynamic busy-port floor
+          on both dirs' promises *)
+}
+
+let default_profile =
+  { store_and_forward = false; min_frame_bytes = 0; seal = false }
 
 type shard = {
   region : int;
@@ -46,8 +73,17 @@ type t = {
   channels : message Parallel.Spsc.t array;  (** index = channel dir *)
   m_seq : int array;  (** per dir; producer-owned, read after the run *)
   in_dirs : int list array;  (** per region: dirs delivering into it *)
-  in_edges : int list array;  (** per region: producing regions *)
+  out_dirs : int array array;
+      (** per region: egress dirs in gateway order; the shard clock's
+          edge [e] is dir [out_dirs.(r).(e)] *)
   deliver : (message -> unit) array;  (** per dir: consumer-side import *)
+}
+
+type region_load = {
+  rounds : int;
+  advances : int;
+  null_messages : int;
+  events : int;
 }
 
 type stats = {
@@ -56,8 +92,11 @@ type stats = {
   rounds : int;
   null_messages : int;
   cross_frames : int;
+  epochs : int;
+  migrations : int;
   wall_clock_s : float;
   cpu_time_s : float;
+  per_region : region_load array;
 }
 
 (* Consumer-side half of channel [dir]: schedule the crossing into the
@@ -111,15 +150,65 @@ let push_spin t r ch msg =
     if !idle < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
   done
 
-let create ?(channel_capacity = 4096) (part : Partition.t) =
+let create ?(channel_capacity = 4096) ?(scalar_lookahead = false) ?profiles
+    (part : Partition.t) =
   let regions = part.Partition.regions in
   let ngw = Array.length part.Partition.gateways in
+  let profiles =
+    match profiles with
+    | None -> Array.make ngw default_profile
+    | Some p ->
+      if Array.length p <> ngw then
+        invalid_arg "Shard.create: profiles length <> gateways";
+      p
+  in
+  (* Egress dirs per region, in gateway order: dir 2i is a->b (producer =
+     a's region), dir 2i+1 is b->a. The position of a dir in its
+     producer's list is that producer's shard-clock edge index. *)
+  let out_rev = Array.make regions [] in
+  Array.iteri
+    (fun i (gw : Partition.gateway) ->
+      out_rev.(gw.Partition.a_region) <- (2 * i) :: out_rev.(gw.Partition.a_region);
+      out_rev.(gw.Partition.b_region) <-
+        ((2 * i) + 1) :: out_rev.(gw.Partition.b_region))
+    part.Partition.gateways;
+  let out_dirs = Array.map (fun l -> Array.of_list (List.rev l)) out_rev in
+  let edge_of_dir = Array.make (2 * ngw) 0 in
+  Array.iter
+    (fun dirs -> Array.iteri (fun e d -> edge_of_dir.(d) <- e) dirs)
+    out_dirs;
+  (* Per-edge lookahead: this gateway's propagation, plus the minimal
+     serialization time when the trunk is store-and-forward.
+     [scalar_lookahead] instead blunts every edge of a region down to the
+     region-wide scalar (min propagation over its gateways) — the bound
+     PR 4 published. It is sound (a scalar never exceeds any edge's true
+     bound) and exists so experiments can measure what the sharper
+     per-edge promises buy on an otherwise identical simulation. *)
+  let lookahead_of_dir d =
+    let gw = part.Partition.gateways.(d / 2) in
+    let p = profiles.(d / 2) in
+    let props = gw.Partition.gw_link.G.props in
+    if scalar_lookahead then
+      let producer =
+        if d mod 2 = 0 then gw.Partition.a_region else gw.Partition.b_region
+      in
+      part.Partition.lookahead.(producer)
+    else
+      let base = props.G.propagation in
+      if p.store_and_forward && p.min_frame_bytes > 0 then
+        base
+        + Sim.Time.transmission ~bits:(8 * p.min_frame_bytes)
+            ~rate_bps:props.G.bandwidth_bps
+      else base
+  in
   let members =
     Array.init regions (fun region ->
         let engine = Sim.Engine.create () in
         let world = World.create engine part.Partition.graphs.(region) in
         let clock =
-          Sim.Shard_engine.create ~lookahead:part.Partition.lookahead.(region) engine
+          Sim.Shard_engine.create_edges
+            ~lookaheads:(Array.map lookahead_of_dir out_dirs.(region))
+            engine
         in
         let m = World.metrics world in
         {
@@ -146,31 +235,43 @@ let create ?(channel_capacity = 4096) (part : Partition.t) =
   in
   let m_seq = Array.make (2 * ngw) 0 in
   let in_dirs = Array.make regions [] in
-  let in_edges = Array.make regions [] in
   let deliver = Array.make (2 * ngw) (fun (_ : message) -> ()) in
-  let t = { part; members; channels; m_seq; in_dirs; in_edges; deliver } in
+  let t = { part; members; channels; m_seq; in_dirs; out_dirs; deliver } in
   (* Wire both directions of every gateway: the egress proxy in the
      producing region forwards deliveries into the channel; the consumer
      side re-injects them at the real endpoint's original port. *)
   Array.iteri
     (fun i (gw : Partition.gateway) ->
       let l = gw.Partition.gw_link in
-      let wire ~dir ~src ~proxy ~dst ~node ~in_port =
+      let prof = profiles.(i) in
+      let wire ~dir ~src ~src_node ~src_port ~proxy ~dst ~node ~in_port =
         let ch = t.channels.(dir) in
         let producer = t.members.(src) in
+        let edge = edge_of_dir.(dir) in
         t.deliver.(dir) <- deliverer members ~ngw ~dir ~dst ~node ~in_port;
         t.in_dirs.(dst) <- t.in_dirs.(dst) @ [ dir ];
-        if not (List.mem src t.in_edges.(dst)) then
-          t.in_edges.(dst) <- t.in_edges.(dst) @ [ src ];
+        (* The region-local copy of the gateway link carries this dir's
+           traffic (real endpoint -> proxy); give it the profile's wire
+           discipline and, when sealed, let its busy port floor the
+           promise. *)
+        (match G.link_via part.Partition.graphs.(src) src_node src_port with
+        | Some local ->
+          if prof.store_and_forward then
+            World.set_store_and_forward producer.world ~link_id:local.G.link_id
+        | None -> ());
+        if prof.seal then
+          Sim.Shard_engine.set_edge_floor producer.clock ~edge (fun () ->
+              World.port_busy_until producer.world ~node:src_node
+                ~port:src_port);
         (* The tap fires when a transmission toward the proxy is
-           scheduled: its head time joins the shard's pending-outbound
+           scheduled: its head time joins the edge's pending-outbound
            multiset and caps the promise until the delivery fires (or is
            lazily discarded if preemption kills it). *)
         World.set_departure_tap producer.world ~node:proxy (fun ~head ->
-            Sim.Shard_engine.note_outbound producer.clock ~head);
+            Sim.Shard_engine.note_outbound producer.clock ~edge ~head ());
         World.set_handler producer.world proxy
           (fun _w ~in_port:_ ~frame ~head ~tail ->
-            Sim.Shard_engine.outbound_sent producer.clock ~head;
+            Sim.Shard_engine.outbound_sent producer.clock ~edge ~head ();
             match frame.Frame.meta with
             | Some _ -> Telemetry.Registry.Counter.incr producer.meta_dropped
             | None ->
@@ -191,9 +292,11 @@ let create ?(channel_capacity = 4096) (part : Partition.t) =
               Telemetry.Registry.Counter.incr producer.egress;
               push_spin t src ch msg)
       in
-      wire ~dir:(2 * i) ~src:gw.Partition.a_region ~proxy:gw.Partition.a_proxy
+      wire ~dir:(2 * i) ~src:gw.Partition.a_region ~src_node:l.G.a
+        ~src_port:l.G.a_port ~proxy:gw.Partition.a_proxy
         ~dst:gw.Partition.b_region ~node:l.G.b ~in_port:l.G.b_port;
-      wire ~dir:((2 * i) + 1) ~src:gw.Partition.b_region ~proxy:gw.Partition.b_proxy
+      wire ~dir:((2 * i) + 1) ~src:gw.Partition.b_region ~src_node:l.G.b
+        ~src_port:l.G.b_port ~proxy:gw.Partition.b_proxy
         ~dst:gw.Partition.a_region ~node:l.G.a ~in_port:l.G.a_port)
     part.Partition.gateways;
   t
@@ -205,26 +308,60 @@ let graph t r = t.part.Partition.graphs.(r)
 let partition t = t.part
 let region_of t node = t.part.Partition.region_of.(node)
 
-let run ?(shards = 1) ~until t =
+let run ?(shards = 1) ?epoch ~until t =
+  (* One promise per directed gateway channel, written by its producing
+     shard's owner, read by the consumer; fresh per run. *)
+  let promises =
+    Array.init (Array.length t.channels) (fun _ -> Atomic.make 0)
+  in
   let endpoints =
     Array.map
       (fun sh ->
+        let r = sh.region in
+        let dirs = t.out_dirs.(r) in
         {
-          Parallel.Conservative.drain = (fun () -> drain_region t sh.region);
+          Parallel.Conservative.drain = (fun () -> drain_region t r);
           inbox_empty =
             (fun () ->
               List.for_all
                 (fun d -> Parallel.Spsc.is_empty t.channels.(d))
-                t.in_dirs.(sh.region));
-          advance = (fun ~safe_in -> Sim.Shard_engine.advance sh.clock ~safe_in ~until);
-          promise = (fun ~safe_in -> Sim.Shard_engine.promise sh.clock ~safe_in);
-          at_end = (fun ~safe_in -> Sim.Shard_engine.finished sh.clock ~safe_in ~until);
+                t.in_dirs.(r));
+          safe_in =
+            (fun () ->
+              List.fold_left
+                (fun acc d -> min acc (Atomic.get promises.(d)))
+                max_int t.in_dirs.(r));
+          advance =
+            (fun ~safe_in ~cap ->
+              Sim.Shard_engine.advance sh.clock ~safe_in ~cap);
+          publish =
+            (fun ~safe_in ->
+              let moved = ref 0 in
+              Array.iteri
+                (fun e d ->
+                  let p =
+                    Sim.Shard_engine.promise_edge sh.clock ~edge:e ~safe_in
+                  in
+                  if p > Atomic.get promises.(d) then begin
+                    Atomic.set promises.(d) p;
+                    incr moved
+                  end)
+                dirs;
+              !moved);
+          reached = (fun ~cap -> Sim.Shard_engine.reached sh.clock ~cap);
+          at_end =
+            (fun ~safe_in ->
+              Sim.Shard_engine.finished sh.clock ~safe_in ~until);
+          on_retire =
+            (fun () ->
+              Array.iter (fun d -> Atomic.set promises.(d) max_int) dirs);
+          work = (fun () -> Sim.Engine.executed sh.engine);
         })
       t.members
   in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let c = Parallel.Conservative.run ~shards ~in_edges:t.in_edges endpoints in
+  let c = Parallel.Conservative.run ~shards ?epoch ~until endpoints in
   let wall = Unix.gettimeofday () -. wall0 in
   let cpu = Sys.time () -. cpu0 in
   {
@@ -233,8 +370,20 @@ let run ?(shards = 1) ~until t =
     rounds = c.Parallel.Conservative.rounds;
     null_messages = c.Parallel.Conservative.null_messages;
     cross_frames = Array.fold_left ( + ) 0 t.m_seq;
+    epochs = c.Parallel.Conservative.epochs;
+    migrations = c.Parallel.Conservative.migrations;
     wall_clock_s = wall;
     cpu_time_s = cpu;
+    per_region =
+      Array.map
+        (fun (s : Parallel.Conservative.shard_load) ->
+          {
+            rounds = s.Parallel.Conservative.rounds;
+            advances = s.Parallel.Conservative.advances;
+            null_messages = s.Parallel.Conservative.null_moves;
+            events = s.Parallel.Conservative.events;
+          })
+        c.Parallel.Conservative.per_shard;
   }
 
 (* Merged telemetry: folded in fixed region order, so the merged view is

@@ -4,27 +4,65 @@
     only at the gateway links: each direction of each gateway is a
     bounded SPSC channel carrying timestamped frame crossings plus the
     packet's flight-recorder context, and the shards advance under the
-    conservative protocol of {!Parallel.Conservative}, with each
-    gateway's propagation delay as the lookahead.
+    conservative protocol of {!Parallel.Conservative}.
+
+    Lookahead is per directed gateway edge: each egress channel promises
+    with its own gateway's propagation delay — plus, when the trunk is
+    declared store-and-forward in its {!profile}, the serialization time
+    of the smallest frame the workload sends over it — so a consumer's
+    safe time is bounded by exactly the edges that feed it rather than
+    one region-wide pessimistic scalar.
 
     Determinism: cross-shard frames enter the peer engine with a seq key
     [foreign_seq_base + m_seq * (2*gateways) + dir] derived from the
     producing shard's deterministic message counter, so the (time, seq)
     execution order — and therefore every counter, histogram, event ring
     and flight — is bit-identical for every [shards] value, including
-    the never-spawning [shards = 1] serial reference. *)
+    the never-spawning [shards = 1] serial reference. Re-balancing
+    ({!run}'s [epoch]) only moves shard ownership between worker
+    domains at quiescent points and never touches the simulation, so
+    the guarantee survives it untouched. *)
 
 module G = Topo.Graph
 
 type t
 
-val create : ?channel_capacity:int -> Partition.t -> t
+type profile = {
+  store_and_forward : bool;
+      (** operate the gateway link store-and-forward in both region
+          worlds ({!World.set_store_and_forward}): frame heads leave
+          only fully serialized — the property that makes the
+          [min_frame_bytes] lookahead term sound *)
+  min_frame_bytes : int;
+      (** smallest frame the workload sends over this trunk; its
+          transmission time joins both dirs' lookaheads when
+          [store_and_forward] is set, and is ignored otherwise (under
+          cut-through a head outruns serialization) *)
+  seal : bool;
+      (** caller declares the trunk sealed — no preemptive priorities
+          cross it and neither endpoint is ever crash-purged — enabling
+          the dynamic busy-port promise floor
+          ({!World.port_busy_until}); unsound if the declaration is
+          violated *)
+}
+
+val default_profile : profile
+(** Plain cut-through, no floor: exactly PR 4's behavior. *)
+
+val create :
+  ?channel_capacity:int -> ?scalar_lookahead:bool ->
+  ?profiles:profile array -> Partition.t -> t
 (** Builds the per-region engines/worlds and wires the gateway proxies.
     Protocol stacks are installed afterwards by the caller, on each
     region's {!world}, for the nodes that region owns.
     [channel_capacity] bounds each gateway channel (default 4096); a
     full channel back-pressures the producing shard, which keeps
-    draining its own inboxes while it waits. *)
+    draining its own inboxes while it waits. [profiles] (one per
+    gateway, in partition gateway order) sharpens that gateway's two
+    edges; default {!default_profile} everywhere. [scalar_lookahead]
+    blunts every edge back to its region's scalar bound
+    ({!Partition.t.lookahead}) — sound, and useful only to measure what
+    per-edge promises save on an identical simulation. *)
 
 val regions : t -> int
 val world : t -> int -> World.t
@@ -33,20 +71,39 @@ val graph : t -> int -> G.t
 val partition : t -> Partition.t
 val region_of : t -> G.node_id -> int
 
+type region_load = {
+  rounds : int;  (** sync rounds this region's shard was serviced *)
+  advances : int;  (** busy rounds: its engine clock moved *)
+  null_messages : int;  (** per-edge promise publications that moved *)
+  events : int;  (** events its engine executed — the balancer signal *)
+}
+
 type stats = {
   shards : int;  (** worker domains actually used *)
   regions : int;
   rounds : int;  (** max conservative sync rounds over workers *)
   null_messages : int;  (** promise publications that moved a bound *)
   cross_frames : int;  (** frames that crossed a gateway channel *)
+  epochs : int;  (** re-balancing quiescent points crossed *)
+  migrations : int;  (** shard->worker ownership moves at those points *)
   wall_clock_s : float;
   cpu_time_s : float;
+  per_region : region_load array;
+      (** indexed by region. Only [events] is schedule-independent
+          (it is a pure function of the simulation at the end); the
+          service counters depend on worker interleaving except at
+          [shards = 1], where the whole loop is deterministic. *)
 }
 
-val run : ?shards:int -> until:Sim.Time.t -> t -> stats
+val run : ?shards:int -> ?epoch:Sim.Time.t -> until:Sim.Time.t -> t -> stats
 (** Advance every region through [until]. [shards = 1] (the default)
     drives all regions from the calling domain and never spawns; larger
-    values fan regions out over that many domains via {!Parallel.Pool}. *)
+    values fan regions out over that many domains via {!Parallel.Pool}.
+    [epoch] (simulated time) enables load-adaptive re-balancing: all
+    shards park at each boundary [k * epoch] and ownership is re-packed
+    over the workers from per-epoch executed-event deltas
+    ({!Parallel.Conservative}); simulation output is bit-identical with
+    or without it. *)
 
 (** {1 Merged telemetry}
 

@@ -63,6 +63,12 @@ and t = {
   handlers : (G.node_id, handler) Hashtbl.t;
   outports : (G.node_id * G.port, outport) Hashtbl.t;
   ber : (int, float) Hashtbl.t;  (** link_id -> bit error rate *)
+  sf_links : (int, unit) Hashtbl.t;
+      (** link_ids operated store-and-forward: the head of a frame leaves
+          only after the whole frame is serialized, so head arrival is
+          [finish + propagation] rather than [start + propagation] — which
+          makes [propagation + min transmission time] a sound cross-link
+          lookahead (trunk links between regions) *)
   rng : Sim.Rng.t;
   mutable corruptor : (link:G.link -> bytes -> bytes option) option;
       (** externally injected damage model (see [Faults]); takes precedence
@@ -91,6 +97,7 @@ let create ?(default_buffer_bytes = 256 * 1024) engine graph =
     handlers = Hashtbl.create 64;
     outports = Hashtbl.create 256;
     ber = Hashtbl.create 8;
+    sf_links = Hashtbl.create 4;
     rng = Sim.Rng.create 0xC0FFEEL;
     corruptor = None;
     handler_errors = Hashtbl.create 8;
@@ -172,6 +179,8 @@ let import_frame t ?(priority = Token.Priority.normal) ?(drop_if_blocked = false
   { Frame.id; payload; priority; drop_if_blocked; born; meta = None; flight; aborted }
 
 let set_buffer_bytes t ~node ~port n = (outport t node port).buffer_bytes <- n
+let set_store_and_forward t ~link_id = Hashtbl.replace t.sf_links link_id ()
+let store_and_forward t ~link_id = Hashtbl.mem t.sf_links link_id
 let set_bit_error_rate t ~link_id p = Hashtbl.replace t.ber link_id p
 let set_corruptor t f = t.corruptor <- Some f
 let clear_corruptor t = t.corruptor <- None
@@ -236,8 +245,14 @@ let rec start_transmission t op link frame =
   let rate = link.G.props.G.bandwidth_bps in
   let tx_time = Sim.Time.transmission ~bits:(Frame.bits frame) ~rate_bps:rate in
   let finish = start + tx_time in
-  let head = start + link.G.props.G.propagation in
   let tail = finish + link.G.props.G.propagation in
+  (* Cut-through by default: the head races ahead while the tail is
+     still serializing. A store-and-forward link holds the frame until
+     fully serialized, so head and tail arrive together. *)
+  let head =
+    if Hashtbl.mem t.sf_links link.G.link_id then tail
+    else start + link.G.props.G.propagation
+  in
   let delivered = maybe_corrupt t op link frame in
   (if Hashtbl.length t.taps > 0 then begin
      let peer_node, _ = G.peer link op.op_node in
@@ -342,6 +357,15 @@ let queue_length t ~node ~port = Sim.Heap.size (outport t node port).queue
 let queued_bytes t ~node ~port = (outport t node port).queued_bytes
 let port_busy t ~node ~port =
   match (outport t node port).current with Some _ -> true | None -> false
+
+(* Earliest instant a NEW transmission could start on the port. Sound as
+   a shard-promise floor only on sealed edges: preemption aborts the
+   current transmission early, and a crash purge frees the port early —
+   both start a successor before [finish]. *)
+let port_busy_until t ~node ~port =
+  match (outport t node port).current with
+  | Some tx -> tx.finish
+  | None -> now t
 
 type port_stats = {
   sent_frames : int;

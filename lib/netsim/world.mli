@@ -79,6 +79,18 @@ val deliver_direct :
 
 val set_buffer_bytes : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int -> unit
 
+val set_store_and_forward : t -> link_id:int -> unit
+(** Operate the link store-and-forward: the head of a frame leaves only
+    after the whole frame is serialized, so head and tail arrive
+    together at [finish + propagation] (§6.1's store-and-forward
+    forwarding, applied to the wire). On such a link no event at time
+    [s] can cause an arrival before [s + min transmission time +
+    propagation], which is what lets a shard promise
+    [propagation + tx(min frame)] as a per-edge lookahead over a
+    region-to-region trunk. Cut-through (the default) is unchanged. *)
+
+val store_and_forward : t -> link_id:int -> bool
+
 val set_bit_error_rate : t -> link_id:int -> float -> unit
 (** Independent per-bit corruption probability; a corrupted delivery has a
     random payload byte flipped (the header-corruption scenario of §4.1). *)
@@ -108,6 +120,12 @@ val purge_node : t -> node:Topo.Graph.node_id -> int
 val queue_length : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int
 val queued_bytes : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> int
 val port_busy : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> bool
+
+val port_busy_until : t -> node:Topo.Graph.node_id -> port:Topo.Graph.port -> Sim.Time.t
+(** Finish time of the transmission in progress, or [now] when idle: the
+    earliest instant a {e new} transmission could start on the port.
+    Sound as a shard-promise floor only for sealed edges — preemption
+    and crash purges both free the port early. *)
 
 type port_stats = {
   sent_frames : int;

@@ -5,12 +5,14 @@ type handle = event
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
+  mutable executed : int;
   queue : event Heap.t;
 }
 
-let create () = { clock = Time.zero; next_seq = 0; queue = Heap.create () }
+let create () = { clock = Time.zero; next_seq = 0; executed = 0; queue = Heap.create () }
 
 let now t = t.clock
+let executed t = t.executed
 
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
@@ -53,7 +55,8 @@ let run ?until ?(max_events = max_int) t =
           t.clock <- time;
           if not e.cancelled then begin
             e.action ();
-            incr executed
+            incr executed;
+            t.executed <- t.executed + 1
           end
       end
   done;

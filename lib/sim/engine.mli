@@ -49,3 +49,9 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 
 val pending : t -> int
 (** Events still queued (including cancelled ones not yet skipped). *)
+
+val executed : t -> int
+(** Cumulative count of callbacks actually run (cancelled events are
+    skipped, not counted). At a deterministic simulated-time boundary
+    this is a pure function of the simulation — the load signal the
+    shard re-balancer packs workers by. *)

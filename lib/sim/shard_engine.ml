@@ -1,97 +1,135 @@
 (* A conservative (Chandy–Misra–Bryant) shard clock around {!Engine}.
 
    The shard repeatedly advances its engine up to (but excluding) the
-   minimum time promised by its in-neighbors, then publishes its own
-   promise: a lower bound on the timestamp of any message it could still
-   emit. Two sources bound that promise:
+   minimum time promised by its in-neighbors, then publishes its
+   promises: per egress edge, a lower bound on the timestamp of any
+   message it could still emit over that edge. Two sources bound each
+   edge's promise:
 
-     - transmissions already scheduled toward an egress proxy, whose
-       delivery (head-arrival) times are tracked here as a multiset of
-       pending heads;
-     - anything a future event might start, which cannot reach a
-       neighbor before (earliest future event) + lookahead, where the
-       lookahead is the minimum propagation delay over the shard's
-       egress gateway links — a physical lower bound on cross-shard
-       causality.
+     - transmissions already scheduled toward that edge's egress proxy,
+       whose delivery (head-arrival) times are tracked per edge as a
+       multiset of pending heads;
+     - anything a future event might start, which cannot reach the
+       neighbor before (earliest future event) + that edge's lookahead —
+       the physical lower bound on causality across that gateway link
+       (propagation, plus the minimum serialization time when the link
+       is operated store-and-forward).
 
-   Both bounds only ever move forward, so promises are monotone, and
-   because lookahead is strictly positive the shard holding the globally
-   minimal next event always ends up with safe-time strictly above its
-   own clock: the protocol cannot deadlock. *)
+   An edge may additionally carry a dynamic floor: a callback giving a
+   lower bound on the start time of any NEW transmission toward the
+   edge (typically the busy-until of the producing trunk port). The
+   floor never applies to transmissions already noted pending — those
+   are promised exactly.
 
-type t = {
-  engine : Engine.t;
+   All bounds only ever move forward, so promises are monotone, and
+   because every lookahead is strictly positive the shard holding the
+   globally minimal next event always ends up with safe-time strictly
+   above its own clock: the protocol cannot deadlock. *)
+
+type edge = {
   lookahead : Time.t;
-  (* multiset of delivery heads of in-flight transmissions toward egress
-     proxies: a heap of heads plus live-counts for lazy deletion *)
+  (* multiset of delivery heads of in-flight transmissions toward this
+     edge's egress proxy: a heap of heads plus live-counts for lazy
+     deletion *)
   pending : unit Heap.t;
   counts : (Time.t, int) Hashtbl.t;
   mutable pseq : int;
-  mutable ran_until : Time.t;  (** -1 before the first advance *)
   mutable promised : Time.t;
+  mutable floor : (unit -> Time.t) option;
 }
 
-let create ~lookahead engine =
-  if lookahead <= 0 then invalid_arg "Shard_engine.create: lookahead must be positive";
+type t = {
+  engine : Engine.t;
+  edges : edge array;
+  mutable ran_until : Time.t;  (** -1 before the first advance *)
+}
+
+let make_edge lookahead =
+  if lookahead <= 0 then
+    invalid_arg "Shard_engine: lookahead must be positive";
   {
-    engine;
     lookahead;
     pending = Heap.create ();
     counts = Hashtbl.create 32;
     pseq = 0;
-    ran_until = -1;
     promised = 0;
+    floor = None;
   }
+
+let create_edges ~lookaheads engine =
+  (* an empty array is legal: a shard with no egress edges (a sink
+     region) promises nothing and its promise folds to infinity *)
+  { engine; edges = Array.map make_edge lookaheads; ran_until = -1 }
+
+let create ~lookahead engine = create_edges ~lookaheads:[| lookahead |] engine
 
 let engine t = t.engine
 let ran_until t = t.ran_until
+let edge_count t = Array.length t.edges
+let edge_lookahead t ~edge = t.edges.(edge).lookahead
 
-let note_outbound t ~head =
-  let n = Option.value ~default:0 (Hashtbl.find_opt t.counts head) in
-  Hashtbl.replace t.counts head (n + 1);
+let set_edge_floor t ~edge f = t.edges.(edge).floor <- Some f
+
+let note_outbound t ?(edge = 0) ~head () =
+  let e = t.edges.(edge) in
+  let n = Option.value ~default:0 (Hashtbl.find_opt e.counts head) in
+  Hashtbl.replace e.counts head (n + 1);
   if n = 0 then begin
-    Heap.push t.pending ~time:head ~seq:t.pseq ();
-    t.pseq <- t.pseq + 1
+    Heap.push e.pending ~time:head ~seq:e.pseq ();
+    e.pseq <- e.pseq + 1
   end
 
-let outbound_sent t ~head =
-  match Hashtbl.find_opt t.counts head with
-  | Some n when n > 1 -> Hashtbl.replace t.counts head (n - 1)
-  | Some _ -> Hashtbl.remove t.counts head
+let outbound_sent t ?(edge = 0) ~head () =
+  let e = t.edges.(edge) in
+  match Hashtbl.find_opt e.counts head with
+  | Some n when n > 1 -> Hashtbl.replace e.counts head (n - 1)
+  | Some _ -> Hashtbl.remove e.counts head
   | None -> invalid_arg "Shard_engine.outbound_sent: head was never noted"
 
-(* Minimum still-live pending head. Entries whose count dropped to zero
-   are lazily discarded, as are heads at or below the engine clock whose
-   delivery never fired — those belong to transmissions cancelled by
-   preemption or a node crash, and must not pin the promise in the past. *)
-let rec min_pending t =
-  match Heap.peek_time t.pending with
+(* Minimum still-live pending head of one edge. Entries whose count
+   dropped to zero are lazily discarded, as are heads at or below the
+   engine clock whose delivery never fired — those belong to
+   transmissions cancelled by preemption or a node crash, and must not
+   pin the promise in the past. *)
+let rec min_pending t e =
+  match Heap.peek_time e.pending with
   | None -> max_int
   | Some head ->
-    let live = Hashtbl.mem t.counts head in
+    let live = Hashtbl.mem e.counts head in
     if live && head > Engine.now t.engine then head
     else begin
-      ignore (Heap.pop t.pending);
-      if live then Hashtbl.remove t.counts head;
-      min_pending t
+      ignore (Heap.pop e.pending);
+      if live then Hashtbl.remove e.counts head;
+      min_pending t e
     end
 
-let promise t ~safe_in =
+let earliest_cause t ~safe_in =
   let next_local =
     match Engine.next_time t.engine with Some time -> time | None -> max_int
   in
-  let earliest_cause = min next_local safe_in in
-  let via_lookahead =
-    if earliest_cause >= max_int - t.lookahead then max_int
-    else earliest_cause + t.lookahead
-  in
-  let p = min (min_pending t) via_lookahead in
-  (* monotone by construction; the max is a guard, not a correction *)
-  t.promised <- max t.promised p;
-  t.promised
+  min next_local safe_in
 
-let advance t ~safe_in ~until =
-  let target = if safe_in > until then until else safe_in - 1 in
+let promise_one t e ~cause =
+  let base =
+    match e.floor with None -> cause | Some f -> max cause (f ())
+  in
+  let via_lookahead =
+    if base >= max_int - e.lookahead then max_int else base + e.lookahead
+  in
+  let p = min (min_pending t e) via_lookahead in
+  (* monotone by construction; the max is a guard, not a correction *)
+  e.promised <- max e.promised p;
+  e.promised
+
+let promise_edge t ~edge ~safe_in =
+  promise_one t t.edges.(edge) ~cause:(earliest_cause t ~safe_in)
+
+let promise t ~safe_in =
+  let cause = earliest_cause t ~safe_in in
+  Array.fold_left (fun acc e -> min acc (promise_one t e ~cause)) max_int t.edges
+
+let advance t ~safe_in ~cap =
+  let target = min (safe_in - 1) cap in
   if target <= t.ran_until then false
   else begin
     Engine.run ~until:target t.engine;
@@ -99,4 +137,5 @@ let advance t ~safe_in ~until =
     true
   end
 
+let reached t ~cap = t.ran_until >= cap
 let finished t ~safe_in ~until = t.ran_until >= until && safe_in > until

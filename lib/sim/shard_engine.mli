@@ -1,54 +1,92 @@
 (** A conservative (Chandy–Misra–Bryant) shard clock around {!Engine}.
 
-    One shard of a region-partitioned simulation owns one engine. Each
-    sync round the driver reads the minimum time promised by the shard's
+    One shard of a region-partitioned simulation owns one engine and a
+    set of directed egress {e edges} (its gateway channels). Each sync
+    round the driver reads the minimum time promised by the shard's
     in-neighbors ([safe_in]), calls {!advance} to execute every event
-    strictly below it, then publishes {!promise} — a lower bound on the
-    timestamp of any message this shard could still send:
+    strictly below it (capped at the driver's epoch boundary), then
+    publishes one promise per egress edge — a lower bound on the
+    timestamp of any message this shard could still send over it:
 
-    {v promise = min( min pending outbound delivery head,
-                      min(next local event, safe_in) + lookahead ) v}
+    {v promise(e) = min( min pending outbound head toward e,
+                         max( min(next local event, safe_in),
+                              floor(e) ) + lookahead(e) ) v}
 
-    The [lookahead] is the minimum propagation delay over the shard's
-    egress gateway links: no event at time [s] can make a frame arrive at
-    a neighbor before [s + lookahead], because the frame must cross a
-    gateway link. Transmissions already in flight toward a gateway are
-    promised exactly, via the pending-head multiset maintained with
-    {!note_outbound} / {!outbound_sent}.
+    [lookahead(e)] is per edge: the gateway link's propagation delay,
+    plus — when the link is operated store-and-forward — the minimum
+    transmission time over the priorities enabled on that link (a frame
+    must be fully serialized before its head leaves, so no event at
+    time [s] can make anything arrive before [s + tx_min + prop]).
+    The optional dynamic [floor(e)] is a lower bound on the start time
+    of any {e new} transmission toward the edge — typically the
+    busy-until of the producing trunk port, sound only when the edge
+    carries no preemptive priorities and its producing node is never
+    crash-purged (see {!Netsim.Shard.seal}-style callers).
+    Transmissions already in flight are promised exactly via the
+    per-edge pending-head multiset ({!note_outbound} /
+    {!outbound_sent}); the floor never applies to them.
 
-    Promises are monotone non-decreasing and, because [lookahead] is
-    strictly positive, always strictly above the shard's own clock — so
-    the shard holding the globally earliest event is always allowed to
-    run it, and the protocol cannot deadlock. *)
+    Promises are monotone non-decreasing and, because every lookahead
+    is strictly positive, always strictly above the shard's own clock —
+    so the shard holding the globally earliest event is always allowed
+    to run it, and the protocol cannot deadlock. *)
 
 type t
 
 val create : lookahead:Time.t -> Engine.t -> t
-(** Raises [Invalid_argument] if [lookahead <= 0]: a zero-latency
-    gateway link gives a zero lookahead, under which null messages make
-    no progress — the partitioner refuses such topologies instead. *)
+(** A single-edge clock (the scalar-lookahead mode: one promise bounds
+    every neighbor). Raises [Invalid_argument] if [lookahead <= 0]: a
+    zero-latency gateway link gives a zero lookahead, under which null
+    messages make no progress — the partitioner refuses such topologies
+    instead. *)
+
+val create_edges : lookaheads:Time.t array -> Engine.t -> t
+(** One clock with an edge per directed egress channel, each with its
+    own lookahead and pending multiset. An empty array is legal (a sink
+    region promises nothing; {!promise} folds to infinity). Raises
+    [Invalid_argument] on any non-positive lookahead. *)
 
 val engine : t -> Engine.t
 
 val ran_until : t -> Time.t
 (** Highest time the engine has been advanced through; -1 initially. *)
 
-val note_outbound : t -> head:Time.t -> unit
-(** A transmission whose delivery arrives at an egress proxy at [head]
-    was scheduled (wired to the world's departure tap). *)
+val edge_count : t -> int
+val edge_lookahead : t -> edge:int -> Time.t
 
-val outbound_sent : t -> head:Time.t -> unit
+val set_edge_floor : t -> edge:int -> (unit -> Time.t) -> unit
+(** Install a dynamic lower bound on the start time of any new
+    transmission toward [edge]. Caller contract: the bound must hold
+    against preemption and crash-purges (only seal edges whose enabled
+    priorities are non-preemptive and whose producing port is never
+    purged). *)
+
+val note_outbound : t -> ?edge:int -> head:Time.t -> unit -> unit
+(** A transmission whose delivery arrives at [edge]'s egress proxy at
+    [head] was scheduled (wired to the world's departure tap). *)
+
+val outbound_sent : t -> ?edge:int -> head:Time.t -> unit -> unit
 (** The delivery at [head] fired and its message was handed to the
     channel. Heads that never fire (transmission aborted by preemption
     or a crash) are discarded lazily once the clock passes them. *)
 
-val promise : t -> safe_in:Time.t -> Time.t
-(** Publishable lower bound on this shard's future sends; monotone. *)
+val promise_edge : t -> edge:int -> safe_in:Time.t -> Time.t
+(** Publishable lower bound on this shard's future sends over [edge];
+    monotone per edge. *)
 
-val advance : t -> safe_in:Time.t -> until:Time.t -> bool
-(** Run events with time < [safe_in], capped at (and inclusive of)
-    [until] once [safe_in] exceeds it — matching the serial semantics of
-    [Engine.run ~until]. Returns whether the horizon moved. *)
+val promise : t -> safe_in:Time.t -> Time.t
+(** Minimum over all edges — the scalar view (and the single-edge
+    clock's promise). *)
+
+val advance : t -> safe_in:Time.t -> cap:Time.t -> bool
+(** Run events with time < [safe_in], inclusive-capped at [cap] (the
+    driver passes [min(epoch boundary, until)] — with no rebalancing,
+    just [until], matching the serial semantics of [Engine.run ~until]).
+    Returns whether the horizon moved. *)
+
+val reached : t -> cap:Time.t -> bool
+(** The engine has been advanced through [cap] — the shard is parked at
+    the current epoch boundary (quiescent-point rendezvous). *)
 
 val finished : t -> safe_in:Time.t -> until:Time.t -> bool
 (** The shard ran through [until] and no in-neighbor can send anything

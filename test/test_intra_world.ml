@@ -1,11 +1,14 @@
-(* Intra-world multicore: partitioner invariants, the conservative shard
-   clock, and the headline guarantee — the same region-sharded cluster
-   produces bit-identical merged telemetry at --shards 1 (which never
-   spawns) and --shards 4. *)
+(* Intra-world multicore: partitioner invariants (including profile-guided
+   refinement), the conservative per-edge shard clock, and the headline
+   guarantee — the same region-sharded cluster produces bit-identical
+   merged telemetry at --shards 1 (which never spawns) and --shards 3/4,
+   with and without load-adaptive re-balancing, and with shard-resident
+   fault injection. *)
 
 module G = Topo.Graph
 module W = Netsim.World
 module P = Netsim.Partition
+module B = Netsim.Balancer
 module S = Netsim.Shard
 module SE = Sim.Shard_engine
 
@@ -128,16 +131,27 @@ let partition_preserves_ports () =
           check_bool "proxy peer" true (peer_node >= G.node_count g))
     (G.links g)
 
-let partition_refuses_zero_latency () =
+(* Zero-latency gateway: the partitioner must refuse, and the same
+   topology must still run on the serial single-world path — the
+   fallback callers take when split returns an error. *)
+let partition_refuses_zero_latency_serial_fallback () =
   let g = G.create () in
   let a = G.add_node g ~name:"gw.region0" G.Router in
   let b = G.add_node g ~name:"gw.region1" G.Router in
-  ignore (G.connect g a b { local_props with G.propagation = 0 });
+  let pa, _pb = G.connect g a b { local_props with G.propagation = 0 } in
   let region = match P.by_name g with Ok f -> f | Error _ -> Alcotest.fail "by_name" in
-  match P.split g ~region with
+  (match P.split g ~region with
   | Error (P.Zero_latency_gateway _) -> ()
   | Ok _ -> Alcotest.fail "zero-latency gateway must refuse to partition"
-  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" P.pp_error e)
+  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" P.pp_error e));
+  (* serial fallback: one engine, one world, traffic still flows *)
+  let engine = Sim.Engine.create () in
+  let w = W.create engine g in
+  let got = ref 0 in
+  W.set_handler w b (fun _w ~in_port:_ ~frame:_ ~head:_ ~tail:_ -> incr got);
+  ignore (W.send w ~node:a ~port:pa (W.fresh_frame w (Bytes.of_string "hi")));
+  Sim.Engine.run engine;
+  check_int "serial fallback delivers" 1 !got
 
 let partition_by_name_requires_key () =
   let g = G.create () in
@@ -146,6 +160,68 @@ let partition_by_name_requires_key () =
   | Error (P.Bad_region _) -> ()
   | Ok _ -> Alcotest.fail "names without a region key must be rejected"
   | Error _ -> Alcotest.fail "wrong error"
+
+(* ---- refinement (over-decomposition) ---- *)
+
+let partition_refine_splits_hot_region () =
+  let g, _, _ = build ~regions:2 ~hosts_per_region:4 in
+  let p = split_exn g in
+  check_int "coarse regions" 2 p.P.regions;
+  match P.refine p ~region:0 ~ways:2 with
+  | Error e -> Alcotest.failf "refine: %s" (Format.asprintf "%a" P.pp_error e)
+  | Ok q ->
+    check_int "one more region" 3 q.P.regions;
+    (* untouched regions keep their numbers *)
+    Array.iteri
+      (fun id r -> if r = 1 then check_int "region 1 stable" 1 q.P.region_of.(id))
+      p.P.region_of;
+    (* the split region's nodes land on 0 or the appended region 2 *)
+    Array.iteri
+      (fun id r ->
+        if r = 0 then
+          check_bool "sub-region of 0" true
+            (q.P.region_of.(id) = 0 || q.P.region_of.(id) = 2))
+      p.P.region_of;
+    check_bool "both sub-regions populated" true
+      (Array.exists (fun r -> r = 0) q.P.region_of
+      && Array.exists (fun r -> r = 2) q.P.region_of);
+    (* every new gateway has positive propagation (lookahead exists) *)
+    Array.iter
+      (fun gw ->
+        check_bool "positive gateway latency" true
+          (gw.P.gw_link.G.props.G.propagation > 0))
+      q.P.gateways
+
+let partition_refine_unsplittable_degrades () =
+  (* region 0's two nodes are welded by a zero-latency link: one atom *)
+  let g = G.create () in
+  let a = G.add_node g ~name:"gw.region0" G.Router in
+  let a' = G.add_node g ~name:"h0.region0" G.Host in
+  let b = G.add_node g ~name:"gw.region1" G.Router in
+  ignore (G.connect g a a' { local_props with G.propagation = 0 });
+  ignore (G.connect g a b trunk_props);
+  let p = split_exn g in
+  (match P.refine p ~region:0 ~ways:2 with
+  | Error (P.Unsplittable { region = 0; atoms = 1 }) -> ()
+  | Ok _ -> Alcotest.fail "single-atom region must be unsplittable"
+  | Error e -> Alcotest.failf "wrong error: %s" (Format.asprintf "%a" P.pp_error e));
+  (* the balancer counts the refusal and keeps the coarser partition *)
+  let o = B.plan p ~load:(fun r -> if r = 0 then 1000 else 1) ~target:4 in
+  check_bool "refusals counted" true (o.B.refusals >= 1);
+  check_int "partition kept" p.P.regions o.B.part.P.regions;
+  check_int "no splits applied" 0 (List.length o.B.splits)
+
+let balancer_splits_where_load_is () =
+  let g, _, _ = build ~regions:2 ~hosts_per_region:4 in
+  let p = split_exn g in
+  let o = B.plan p ~load:(fun r -> if r = 0 then 900 else 100) ~target:4 in
+  check_bool "hot region split" true
+    (List.exists (fun (r, w) -> r = 0 && w > 1) o.B.splits);
+  check_bool "more regions than before" true (o.B.part.P.regions > p.P.regions);
+  check_int "no refusals" 0 o.B.refusals;
+  (* deterministic: planning twice gives the identical outcome *)
+  let o2 = B.plan p ~load:(fun r -> if r = 0 then 900 else 100) ~target:4 in
+  check_bool "plan replays" true (o.B.splits = o2.B.splits)
 
 (* ---- shard clock ---- *)
 
@@ -161,23 +237,64 @@ let shard_engine_promise_shapes () =
   check_int "next local + lookahead" 150 (SE.promise c ~safe_in:max_int);
   (* a pending outbound head is promised exactly *)
   let c = SE.create ~lookahead:1000 (Sim.Engine.create ()) in
-  SE.note_outbound c ~head:300;
+  SE.note_outbound c ~head:300 ();
   check_int "pending head wins" 300 (SE.promise c ~safe_in:max_int);
-  SE.outbound_sent c ~head:300;
+  SE.outbound_sent c ~head:300 ();
   check_int "released" max_int (SE.promise c ~safe_in:max_int)
 
+let shard_engine_per_edge_promises () =
+  (* each edge promises with its own lookahead *)
+  let c = SE.create_edges ~lookaheads:[| 10; 100 |] (Sim.Engine.create ()) in
+  check_int "edges" 2 (SE.edge_count c);
+  check_int "lookahead 0" 10 (SE.edge_lookahead c ~edge:0);
+  check_int "lookahead 1" 100 (SE.edge_lookahead c ~edge:1);
+  check_int "edge 0" 60 (SE.promise_edge c ~edge:0 ~safe_in:50);
+  check_int "edge 1" 150 (SE.promise_edge c ~edge:1 ~safe_in:50);
+  check_int "scalar view = min over edges" 60 (SE.promise c ~safe_in:50);
+  (* a pending head pins only its own edge (fresh clock: promises are
+     monotone, so the earlier safe_in:50 reads must not linger) *)
+  let c = SE.create_edges ~lookaheads:[| 10; 100 |] (Sim.Engine.create ()) in
+  SE.note_outbound c ~edge:1 ~head:120 ();
+  check_int "edge 1 pinned" 120 (SE.promise_edge c ~edge:1 ~safe_in:max_int);
+  check_bool "edge 0 unpinned" true
+    (SE.promise_edge c ~edge:0 ~safe_in:200 > 120);
+  SE.outbound_sent c ~edge:1 ~head:120 ();
+  (* a dynamic floor lifts new-transmission causes, not pending heads *)
+  let c = SE.create_edges ~lookaheads:[| 10; 100 |] (Sim.Engine.create ()) in
+  SE.set_edge_floor c ~edge:0 (fun () -> 500);
+  check_int "floored" 510 (SE.promise_edge c ~edge:0 ~safe_in:50);
+  check_int "unfloored edge unaffected" (50 + 100)
+    (SE.promise_edge c ~edge:1 ~safe_in:50)
+
+(* Regression: PR 4's lazy pruning of cancelled outbound heads, plus the
+   multiset behavior when several transmissions share a head time. *)
 let shard_engine_prunes_cancelled_heads () =
   let e = Sim.Engine.create () in
   let c = SE.create ~lookahead:10 e in
   (* a transmission toward the gateway is noted, then cancelled: its
      delivery never fires, so outbound_sent is never called *)
-  SE.note_outbound c ~head:30;
+  SE.note_outbound c ~head:30 ();
   ignore (Sim.Engine.schedule_at e ~time:60 (fun () -> ()));
   check_int "still pins while future" 30 (SE.promise c ~safe_in:max_int);
   (* once the clock passes the head without it firing, it is dead: the
      promise falls back to min(next local 60, safe 50) + lookahead 10 *)
-  check_bool "advances" true (SE.advance c ~safe_in:50 ~until:100);
+  check_bool "advances" true (SE.advance c ~safe_in:50 ~cap:100);
   check_int "pruned" 60 (SE.promise c ~safe_in:50)
+
+let shard_engine_prunes_multiset_heads () =
+  let e = Sim.Engine.create () in
+  let c = SE.create ~lookahead:10 e in
+  (* two transmissions share head 30; one delivers, one is cancelled *)
+  SE.note_outbound c ~head:30 ();
+  SE.note_outbound c ~head:30 ();
+  SE.outbound_sent c ~head:30 ();
+  check_int "one of two still pins" 30 (SE.promise c ~safe_in:max_int);
+  ignore (Sim.Engine.schedule_at e ~time:60 (fun () -> ()));
+  check_bool "advances" true (SE.advance c ~safe_in:50 ~cap:100);
+  (* the cancelled survivor is lazily discarded once the clock passes *)
+  check_int "pruned after pass" 60 (SE.promise c ~safe_in:50);
+  (* and pruning does not resurrect: promises stay monotone *)
+  check_int "monotone" 60 (SE.promise c ~safe_in:40)
 
 let shard_engine_advance_caps_at_until () =
   let e = Sim.Engine.create () in
@@ -186,18 +303,21 @@ let shard_engine_advance_caps_at_until () =
   List.iter
     (fun tm -> ignore (Sim.Engine.schedule_at e ~time:tm (fun () -> fired := tm :: !fired)))
     [ 10; 20; 90; 150 ];
-  ignore (SE.advance c ~safe_in:25 ~until:100);
+  ignore (SE.advance c ~safe_in:25 ~cap:100);
   Alcotest.(check (list int)) "below safe only" [ 20; 10 ] !fired;
   check_bool "not finished" false (SE.finished c ~safe_in:25 ~until:100);
-  ignore (SE.advance c ~safe_in:max_int ~until:100);
+  check_bool "not parked" false (SE.reached c ~cap:100);
+  ignore (SE.advance c ~safe_in:max_int ~cap:100);
   Alcotest.(check (list int)) "through until, not past" [ 90; 20; 10 ] !fired;
-  check_bool "finished" true (SE.finished c ~safe_in:max_int ~until:100)
+  check_bool "finished" true (SE.finished c ~safe_in:max_int ~until:100);
+  check_bool "parked" true (SE.reached c ~cap:100)
 
 (* ---- full cluster determinism ---- *)
 
 type cluster_run = {
   stats : S.stats;
   rows : Telemetry.Registry.row list;
+  region_rows : Telemetry.Registry.row list list;
   events : (Sim.Time.t * Telemetry.Events.event) list;
   flights : Telemetry.Flight.flight list;
   received : int;
@@ -208,8 +328,10 @@ type cluster_run = {
    host 0 pings the next region's host 0 (two gateway crossings per
    round trip), host 1 exercises purely local forwarding. Receivers
    reply along the trailer-built return route, so the return path also
-   crosses the gateways. *)
-let run_cluster ~shards ~until =
+   crosses the gateways. [faults] adds a shard-resident injector per
+   region (seeded per region) flapping each region's h0 access link —
+   the E18-style region-parallel damage arm. *)
+let run_cluster ?epoch ?(faults = false) ~shards ~until () =
   let regions = 4 and hosts_per_region = 2 in
   let g, gws, hosts = build ~regions ~hosts_per_region in
   let p = split_exn g in
@@ -242,6 +364,25 @@ let run_cluster ~shards ~until =
           Hashtbl.replace endpoints h ht)
         hs)
     hosts;
+  if faults then
+    for r = 0 to S.regions cluster - 1 do
+      let inj =
+        Faults.Injector.create
+          ~seed:(Faults.Injector.region_seed ~base:0xE18BA5EL ~region:r)
+          (S.world cluster r)
+      in
+      let sub = S.graph cluster r in
+      let access =
+        List.find
+          (fun (l : G.link) ->
+            (l.G.a = gws.(r) && l.G.b = hosts.(r).(0))
+            || (l.G.b = gws.(r) && l.G.a = hosts.(r).(0)))
+          (G.links sub)
+      in
+      Faults.Injector.flap_link inj ~start:(Sim.Time.ms 10)
+        ~until:(Sim.Time.ms 50) ~mean_up:(Sim.Time.ms 6)
+        ~mean_down:(Sim.Time.ms 2) access
+    done;
   let metric (_ : G.link) = 1.0 in
   let route src dst =
     Sirpent.Route.of_hops g ~src
@@ -270,10 +411,13 @@ let run_cluster ~shards ~until =
                     ())))
       done)
     hosts;
-  let stats = S.run ~shards ~until cluster in
+  let stats = S.run ~shards ?epoch ~until cluster in
   {
     stats;
     rows = S.merged_rows cluster;
+    region_rows =
+      List.init (S.regions cluster) (fun r ->
+          Telemetry.Registry.snapshot (W.metrics (S.world cluster r)));
     events = S.merged_events cluster;
     flights = S.merged_flights cluster;
     received = !received;
@@ -282,19 +426,29 @@ let run_cluster ~shards ~until =
 let until = Sim.Time.ms 80
 
 let cluster_traffic_flows () =
-  let r = run_cluster ~shards:1 ~until in
+  let r = run_cluster ~shards:1 ~until () in
   check_int "one worker" 1 r.stats.S.shards;
   check_int "four regions" 4 r.stats.S.regions;
   check_bool "pings arrived" true (r.received > 0);
   check_bool "gateways crossed" true (r.stats.S.cross_frames > 0);
   check_bool "null messages flowed" true (r.stats.S.null_messages > 0);
+  (* per-region telemetry covers every region and sums to the totals *)
+  check_int "per-region stats" 4 (Array.length r.stats.S.per_region);
+  check_int "nulls add up" r.stats.S.null_messages
+    (Array.fold_left
+       (fun acc (l : S.region_load) -> acc + l.S.null_messages)
+       0 r.stats.S.per_region);
+  Array.iter
+    (fun (l : S.region_load) ->
+      check_bool "every region worked" true (l.S.events > 0))
+    r.stats.S.per_region;
   (* 4 regions x 10 pings, each delivered then answered, plus 10 local
      pings per region also answered: all 160 packets arrive *)
   check_int "every packet delivered" 160 r.received
 
 let cluster_is_deterministic () =
-  let serial = run_cluster ~shards:1 ~until in
-  let wide = run_cluster ~shards:4 ~until in
+  let serial = run_cluster ~shards:1 ~until () in
+  let wide = run_cluster ~shards:4 ~until () in
   check_int "workers actually used" 4 wide.stats.S.shards;
   check_int "same deliveries" serial.received wide.received;
   check_int "same crossings" serial.stats.S.cross_frames wide.stats.S.cross_frames;
@@ -303,11 +457,54 @@ let cluster_is_deterministic () =
   check_bool "flights bit-identical" true (serial.flights = wide.flights)
 
 let cluster_odd_width_deterministic () =
-  let serial = run_cluster ~shards:1 ~until in
-  let odd = run_cluster ~shards:3 ~until in
+  let serial = run_cluster ~shards:1 ~until () in
+  let odd = run_cluster ~shards:3 ~until () in
   check_bool "rows bit-identical" true (serial.rows = odd.rows);
   check_bool "events bit-identical" true (serial.events = odd.events);
   check_bool "flights bit-identical" true (serial.flights = odd.flights)
+
+(* Re-balancing must not perturb the simulation: with epochs enabled the
+   merged telemetry stays bit-identical to the plain serial reference at
+   every width, and the migration schedule replays run over run. *)
+let cluster_rebalanced_deterministic () =
+  let epoch = Sim.Time.ms 10 in
+  let serial = run_cluster ~shards:1 ~until () in
+  let widths = [ 1; 3; 4 ] in
+  List.iter
+    (fun shards ->
+      let reb = run_cluster ~epoch ~shards ~until () in
+      check_bool "epochs crossed" true (reb.stats.S.epochs > 0);
+      check_int "same deliveries" serial.received reb.received;
+      check_bool "rows bit-identical" true (serial.rows = reb.rows);
+      check_bool "events bit-identical" true (serial.events = reb.events);
+      check_bool "flights bit-identical" true (serial.flights = reb.flights))
+    widths;
+  (* migration decisions are a pure function of the run: replay equal *)
+  let a = run_cluster ~epoch ~shards:1 ~until () in
+  let b = run_cluster ~epoch ~shards:1 ~until () in
+  check_int "same epochs" a.stats.S.epochs b.stats.S.epochs;
+  check_int "same migrations" a.stats.S.migrations b.stats.S.migrations
+
+(* E18-style fault matrix, region-parallel: shard-resident injectors
+   (one per region, region-derived seeds) produce per-region damage
+   tables bit-identical to the serial reference. *)
+let cluster_faults_region_parallel () =
+  let serial = run_cluster ~faults:true ~shards:1 ~until () in
+  let wide = run_cluster ~faults:true ~shards:4 ~until () in
+  check_bool "damage happened" true
+    (List.exists
+       (fun (_, (ev : Telemetry.Events.event)) ->
+         match ev with Telemetry.Events.Link_failed _ -> true | _ -> false)
+       serial.events);
+  check_bool "per-region damage tables identical" true
+    (serial.region_rows = wide.region_rows);
+  check_bool "rows bit-identical" true (serial.rows = wide.rows);
+  check_bool "events bit-identical" true (serial.events = wide.events);
+  check_bool "flights bit-identical" true (serial.flights = wide.flights);
+  (* and re-balancing composes with faults *)
+  let reb = run_cluster ~faults:true ~epoch:(Sim.Time.ms 10) ~shards:4 ~until () in
+  check_bool "rebalanced fault rows identical" true (serial.rows = reb.rows);
+  check_bool "rebalanced fault events identical" true (serial.events = reb.events)
 
 let () =
   Alcotest.run "intra_world"
@@ -318,16 +515,25 @@ let () =
           Alcotest.test_case "gateways are the only cross edges" `Quick
             partition_gateways_are_only_cross_edges;
           Alcotest.test_case "ports preserved" `Quick partition_preserves_ports;
-          Alcotest.test_case "zero-latency gateway refused" `Quick
-            partition_refuses_zero_latency;
+          Alcotest.test_case "zero-latency gateway refused, serial fallback" `Quick
+            partition_refuses_zero_latency_serial_fallback;
           Alcotest.test_case "by_name requires a region key" `Quick
             partition_by_name_requires_key;
+          Alcotest.test_case "refine splits a region" `Quick
+            partition_refine_splits_hot_region;
+          Alcotest.test_case "unsplittable degrades gracefully" `Quick
+            partition_refine_unsplittable_degrades;
+          Alcotest.test_case "balancer splits where load is" `Quick
+            balancer_splits_where_load_is;
         ] );
       ( "shard clock",
         [
           Alcotest.test_case "promise shapes" `Quick shard_engine_promise_shapes;
+          Alcotest.test_case "per-edge promises" `Quick shard_engine_per_edge_promises;
           Alcotest.test_case "cancelled heads pruned" `Quick
             shard_engine_prunes_cancelled_heads;
+          Alcotest.test_case "multiset heads pruned" `Quick
+            shard_engine_prunes_multiset_heads;
           Alcotest.test_case "advance caps at until" `Quick
             shard_engine_advance_caps_at_until;
         ] );
@@ -337,5 +543,9 @@ let () =
           Alcotest.test_case "shards 1 = shards 4" `Quick cluster_is_deterministic;
           Alcotest.test_case "shards 1 = shards 3" `Quick
             cluster_odd_width_deterministic;
+          Alcotest.test_case "rebalanced = serial at 1/3/4" `Quick
+            cluster_rebalanced_deterministic;
+          Alcotest.test_case "region-parallel faults = serial" `Quick
+            cluster_faults_region_parallel;
         ] );
     ]
