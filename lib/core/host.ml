@@ -37,19 +37,63 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
     t.rate_signal <- Some (W.now t.world, rate_bps /. 8.0);
     Congestion.handle_ctl t.limiter ~arrival_port:in_port ~congested_port ~rate_bps
   | Some _ -> ()
+  | None when Viper.Xsr.is_xsr frame.Netsim.Frame.payload ->
+    (* XSR arrival: verify and unfold the constant-size header into the
+       [Pkt.t] shape [on_receive] expects — local route, data, and a
+       trailer of return hops from the reverse lanes (oldest first), so
+       [reply] rides the recorded reverse route over VIPER unchanged. *)
+    W.defer t.world ~node:t.node ~time:(max (W.now t.world) tail)
+      (fun () ->
+           let payload = frame.Netsim.Frame.payload in
+           if frame.Netsim.Frame.aborted then
+             flight_drop t ~frame ~in_port ~reason:"aborted"
+           else
+             match Viper.Xsr.step payload ~in_port with
+             | Viper.Xsr.Forward _ | Viper.Xsr.Malformed _ ->
+               (* mid-route or damaged: this host is not the destination *)
+               C.incr t.misdelivered;
+               flight_drop t ~frame ~in_port ~reason:"misdelivered"
+             | Viper.Xsr.Deliver ->
+               let priority = Viper.Xsr.priority payload in
+               let hop_flags = { Seg.vnt = false; dib = false; rpf = true } in
+               let trailer =
+                 List.rev_map
+                   (fun p ->
+                     Viper.Trailer.Hop
+                       (Seg.make ~flags:hop_flags ~priority ~port:p ()))
+                   (Viper.Xsr.reverse_ports payload)
+               in
+               let packet =
+                 {
+                   Pkt.route = [ Seg.make ~priority ~port:Seg.local_port () ];
+                   data = Viper.Xsr.data payload;
+                   trailer;
+                 }
+               in
+               W.release_payload t.world payload;
+               C.incr t.received;
+               (match frame.Netsim.Frame.flight with
+               | Some ctx -> Flight.complete ctx ~now:(W.now t.world)
+               | None -> ());
+               (match t.on_receive with
+               | Some f -> f t ~packet ~in_port
+               | None -> ()))
   | None ->
     (* Hosts take delivery of the whole packet before acting. *)
-    ignore
-      (Sim.Engine.schedule_at (W.engine t.world) ~time:(max (W.now t.world) tail)
-         (fun () ->
+    W.defer t.world ~node:t.node ~time:(max (W.now t.world) tail)
+      (fun () ->
            if frame.Netsim.Frame.aborted then
              flight_drop t ~frame ~in_port ~reason:"aborted"
            else
            match Pkt.parse frame.Netsim.Frame.payload with
            | Error _ ->
              C.incr t.misdelivered;
-             flight_drop t ~frame ~in_port ~reason:"misdelivered"
+             flight_drop t ~frame ~in_port ~reason:"misdelivered";
+             W.release_payload t.world frame.Netsim.Frame.payload
            | Ok packet ->
+             (* [packet] owns copies; the wire buffer returns to the
+                arena, closing the router's alloc/release loop *)
+             W.release_payload t.world frame.Netsim.Frame.payload;
              let final_is_local =
                match packet.Pkt.route with
                | [ seg ] -> seg.Seg.port = Seg.local_port
@@ -67,7 +111,7 @@ let handle t _world ~in_port ~frame ~head:_ ~tail =
                match t.on_receive with
                | Some f -> f t ~packet ~in_port
                | None -> ()
-             end))
+             end)
 
 let create ?(congestion = Congestion.default_config) world ~node =
   let limiter = Congestion.create world ~node congestion in
@@ -118,6 +162,28 @@ let send t ~route ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
       in
       result := Some (W.send t.world ~node:t.node ~port:route.Route.first_port frame));
   (* a held packet is queued in the host's own limiter *)
+  match !result with Some r -> r | None -> W.Queued
+
+(* Fold [route] into a constant-size XSR header instead of a VIPER
+   segment list: bytes-on-wire stay [Xsr.header_size] + data regardless
+   of hop count, and every router on the path takes the zero-copy XSR
+   fast path. The destination still sees an ordinary [Pkt.t] and can
+   [reply] over VIPER via the accumulated reverse lanes. *)
+let send_xsr t ~route ?(priority = Token.Priority.normal)
+    ?(drop_if_blocked = false) ~data () =
+  let ports = Route.ports route in
+  let payload =
+    Viper.Xsr.encode ?pool:(W.pool t.world) ~priority ~ports ~data ()
+  in
+  let next_port = match ports with p :: _ -> Some p | [] -> None in
+  let flight = Flight.start (W.flight t.world) ~now:(W.now t.world) in
+  let result = ref None in
+  Congestion.submit t.limiter ~out_port:route.Route.first_port ~next_port
+    ~bytes:(Bytes.length payload) ~send:(fun () ->
+      let frame =
+        W.fresh_frame t.world ~priority ~drop_if_blocked ?flight payload
+      in
+      result := Some (W.send t.world ~node:t.node ~port:route.Route.first_port frame));
   match !result with Some r -> r | None -> W.Queued
 
 let reply t ~to_packet ~in_port ?(priority = Token.Priority.normal) ~data () =

@@ -33,6 +33,17 @@ val send :
   data:bytes -> unit -> Netsim.World.send_result
 (** Build and transmit a packet along [route]. *)
 
+val send_xsr :
+  t -> route:Route.t -> ?priority:Token.Priority.t -> ?drop_if_blocked:bool ->
+  data:bytes -> unit -> Netsim.World.send_result
+(** Like {!send}, but fold [route] into a constant-size XSR header
+    ({!Viper.Xsr}): bytes-on-wire do not grow with hop count and routers
+    forward the buffer in place. The destination receives an ordinary
+    {!Viper.Packet.t} whose trailer holds the recorded reverse route, so
+    {!reply} works unchanged (the reply rides VIPER). Raises
+    [Invalid_argument] if [route] has no router hops or more than
+    {!Viper.Xsr.width}. *)
+
 val reply :
   t -> to_packet:Viper.Packet.t -> in_port:Topo.Graph.port ->
   ?priority:Token.Priority.t -> data:bytes -> unit -> Netsim.World.send_result

@@ -24,6 +24,16 @@ let of_hops ?(priority = Token.Priority.normal) ?(drop_if_blocked = false)
 
 let hop_count t = List.length t.segments - 1
 
+(* The per-router out-port sequence with the trailing local-delivery
+   segment dropped — the shape {!Viper.Xsr.encode} folds into lanes
+   (XSR delivery is implicit at [hop_idx = hop_count]). *)
+let ports t =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | seg :: rest -> seg.Seg.port :: go rest
+  in
+  go t.segments
+
 let header_overhead t =
   List.fold_left (fun acc s -> acc + Seg.encoded_size s) 0 t.segments
 

@@ -27,6 +27,10 @@ val of_hops :
 val hop_count : t -> int
 (** Routers traversed (segments excluding the final local one). *)
 
+val ports : t -> int list
+(** The per-router out-port sequence (the final local segment dropped) —
+    the port list {!Viper.Xsr.encode} folds into its lanes. *)
+
 val header_overhead : t -> int
 (** Total encoded size of all segments. *)
 

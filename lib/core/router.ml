@@ -140,9 +140,8 @@ let flight_note t ~frame check =
    scheduled action is bound to the router's current epoch. *)
 let schedule t ~time f =
   let epoch = t.epoch in
-  ignore
-    (Sim.Engine.schedule_at (W.engine t.world) ~time:(max time (now t))
-       (fun () -> if t.up && t.epoch = epoch then f ()))
+  W.defer t.world ~node:t.node ~time:(max time (now t)) (fun () ->
+      if t.up && t.epoch = epoch then f ())
 
 let link_rate t port =
   match G.link_via (W.graph t.world) t.node port with
@@ -217,22 +216,16 @@ let count_send_result t ~frame ~in_port result =
     flight_drop t ~frame ~in_port ~reason:"send_drop"
 
 (* Transmit [payload] out [out_port] at [when_], honoring any congestion
-   limiter for its (out_port, next segment port) queue. *)
-let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
-  (* [payload] is already stripped of this node's segment, so its leading
-     segment names the port the NEXT node will forward on — exactly the
-     queue a Rate_ctl limiter for (out_port, next_port) is keyed by. *)
-  let next_port =
-    match Pkt.peek_ports payload with
-    | first, _ -> Some first
-    | exception _ -> None
-  in
+   limiter for its (out_port, next_port) queue. [next_port] is the port
+   the NEXT node will forward on — the leading segment's port (VIPER) or
+   the next XSR lane — exactly the queue a Rate_ctl limiter is keyed by;
+   both source-routed formats expose it without per-flow state. *)
+let dispatch t ~priority ~dib ~next_port ~frame ~in_port ~out_port ~payload ~when_ =
   let send () =
     match t.config.blocked with
     | Buffer ->
       let out_frame =
-        W.fresh_frame t.world ~priority:seg.Seg.priority
-          ~drop_if_blocked:seg.Seg.flags.Seg.dib
+        W.fresh_frame t.world ~priority ~drop_if_blocked:dib
           ?flight:frame.Netsim.Frame.flight payload
       in
       count_send_result t ~frame ~in_port
@@ -242,13 +235,13 @@ let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
          blocked packet through a delay line instead of queueing it *)
       let rec attempt circuits =
         let out_frame =
-          W.fresh_frame t.world ~priority:seg.Seg.priority ~drop_if_blocked:true
+          W.fresh_frame t.world ~priority ~drop_if_blocked:true
             ?flight:frame.Netsim.Frame.flight payload
         in
         match W.send t.world ~node:t.node ~port:out_port out_frame with
         | W.Started | W.Started_preempting _ | W.Queued -> C.incr t.forwarded
         | W.Dropped_blocked ->
-          if circuits < max_circuits && not seg.Seg.flags.Seg.dib then begin
+          if circuits < max_circuits && not dib then begin
             C.incr t.delay_line_circuits;
             schedule t ~time:(now t + delay) (fun () -> attempt (circuits + 1))
           end
@@ -276,23 +269,32 @@ let dispatch t ~seg ~frame ~in_port ~out_port ~payload ~when_ =
 (* [payload] is the full arriving packet and [pos] the offset where the
    stripped segment ends: the strip + trailer-append pair is fused into
    one allocation ({!Viper.Trailer.append_hop_sub}) instead of copying
-   the packet twice per hop. *)
-let forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant =
+   the packet twice per hop. When the world carries a buffer arena the
+   output buffer comes from it, and with [recycle] the input buffer is
+   returned to the arena once its bytes are copied out — [recycle] must
+   be false whenever the caller will reuse [payload] (multicast fans the
+   same buffer out to several ports). *)
+let forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head ~tail ~header_size ~grant ~recycle =
   let return_seg = return_segment t ~seg ~in_port ~in_info ~grant in
+  let pool = W.pool t.world in
   (* The loopback append reads the trailer framing; on a frame whose
      trailer was damaged in flight it fails — a counted drop, not an
      exception out of the frame handler. *)
-  match Viper.Trailer.append_hop_sub payload ~pos return_seg with
+  match Viper.Trailer.append_hop_sub ?pool payload ~pos return_seg with
   | exception (Invalid_argument _ | Failure _ | Wire.Buf.Underflow | Wire.Buf.Overflow)
     ->
     C.incr t.dropped_malformed;
     flight_drop t ~frame ~in_port ~reason:"malformed"
   | forwarded ->
+    if recycle then W.release_payload t.world payload;
     let forwarded =
       match link_mtu t out_port with
       | Some mtu when Bytes.length forwarded > mtu ->
         C.incr t.truncated;
-        Pkt.truncate_to forwarded ~max:(mtu - 4)
+        let cut = Pkt.truncate_to forwarded ~max:(mtu - 4) in
+        (* truncate_to copies; the pre-truncation hop output is ours *)
+        if cut != forwarded then W.release_payload t.world forwarded;
+        cut
       | Some _ | None -> forwarded
     in
     let mode, when_ = act_time t ~in_port ~out_port ~head ~tail ~header_size in
@@ -313,7 +315,13 @@ let forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head ~t
     (match t.congestion with
     | Some c -> Congestion.note_arrival c ~in_port ~out_port
     | None -> ());
-    dispatch t ~seg ~frame ~in_port ~out_port ~payload:forwarded ~when_
+    let next_port =
+      match Pkt.peek_ports forwarded with
+      | first, _ -> Some first
+      | exception _ -> None
+    in
+    dispatch t ~priority:seg.Seg.priority ~dib:seg.Seg.flags.Seg.dib ~next_port
+      ~frame ~in_port ~out_port ~payload:forwarded ~when_
 
 (* Token checking; calls [proceed ~grant] when the packet may be switched.
    A reverse-path packet (RPF flag) is checked against its arrival port:
@@ -437,7 +445,7 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
           with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
             ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
               forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info
-                ~out_port:best ~head ~tail ~header_size ~grant)
+                ~out_port:best ~head ~tail ~header_size ~grant ~recycle:true)
         | Some (Logical.Splice expansion) ->
           C.incr t.spliced;
           let vnt_tail = seg.Seg.flags.Seg.vnt in
@@ -471,8 +479,8 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
                trailer so the receiver knows the path actually taken, and
                re-switch locally — no directory round trip. *)
             match
-              Viper.Trailer.append_branch_marker
-                (Pkt.substitute_route payload ~route:seg.Seg.branch)
+              Pkt.substitute_route_branch ?pool:(W.pool t.world) payload
+                ~route:seg.Seg.branch
             with
             | exception
                 ( Invalid_argument _ | Failure _ | Wire.Buf.Underflow
@@ -491,7 +499,8 @@ let rec process t ~frame ~payload ~in_port ~in_info ~head ~tail ~depth =
             with_authorization t ~seg ~frame ~in_port ~out_port:seg.Seg.port
               ~packet_bytes:(Bytes.length payload) ~proceed:(fun ~grant ->
                 forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info
-                  ~out_port:seg.Seg.port ~head ~tail ~header_size ~grant)
+                  ~out_port:seg.Seg.port ~head ~tail ~header_size ~grant
+                  ~recycle:true)
       end
 
 and normalize_expansion expansion ~vnt_tail =
@@ -516,11 +525,12 @@ and choose_least_queued t ports =
 
 and multicast t ~seg ~frame ~payload ~pos ~in_port ~in_info ~head ~tail
     ~header_size ~ports =
+  (* the same input buffer fans out to every port: never recycle it *)
   List.iter
     (fun out_port ->
       C.incr t.multicast_copies;
       forward_one t ~seg ~frame ~payload ~pos ~in_port ~in_info ~out_port ~head
-        ~tail ~header_size ~grant:None)
+        ~tail ~header_size ~grant:None ~recycle:false)
     ports
 
 and tree_multicast t ~seg ~frame ~rest ~in_port ~in_info ~head ~tail ~depth =
@@ -547,8 +557,11 @@ and deliver_local t ~frame ~payload ~in_port ~tail =
       match Pkt.parse payload with
       | Error _ ->
         C.incr t.dropped_malformed;
-        flight_drop t ~frame ~in_port ~reason:"malformed"
+        flight_drop t ~frame ~in_port ~reason:"malformed";
+        W.release_payload t.world payload
       | Ok packet -> (
+        (* [packet] owns copies of every field; the wire buffer is done *)
+        W.release_payload t.world payload;
         C.incr t.delivered_local;
         (match frame.Netsim.Frame.flight with
         | Some ctx ->
@@ -559,6 +572,94 @@ and deliver_local t ~frame ~payload ~in_port ~tail =
         match t.on_local with
         | Some f -> f ~packet ~in_port
         | None -> ()))
+
+(* XSR local delivery: unfold the constant-size header back into the
+   [Pkt.t] shape [on_local] consumers expect — a local-port route, the
+   data, and a trailer of return hops built from the reverse lanes
+   (oldest hop first, exactly the order VIPER appends them) — so
+   [Pkt.return_route] and everything above it work unchanged. *)
+let deliver_local_xsr t ~frame ~payload ~in_port ~tail =
+  schedule t
+    ~time:(max (now t) tail + t.config.process_time)
+    (fun () ->
+      if frame.Netsim.Frame.aborted then
+        flight_drop t ~frame ~in_port ~reason:"aborted"
+      else begin
+        let priority = Viper.Xsr.priority payload in
+        let hop_flags = { Seg.vnt = false; dib = false; rpf = true } in
+        let trailer =
+          List.rev_map
+            (fun p -> Viper.Trailer.Hop (Seg.make ~flags:hop_flags ~priority ~port:p ()))
+            (Viper.Xsr.reverse_ports payload)
+        in
+        let packet =
+          {
+            Pkt.route = [ Seg.make ~priority ~port:Seg.local_port () ];
+            data = Viper.Xsr.data payload;
+            trailer;
+          }
+        in
+        W.release_payload t.world payload;
+        C.incr t.delivered_local;
+        (match frame.Netsim.Frame.flight with
+        | Some ctx ->
+          Flight.hop ctx ~node:t.node ~in_port ~out_port:(-1) ~arrival:tail
+            ~departure:(now t) ~handling:Flight.Local_delivery;
+          Flight.complete ctx ~now:(now t)
+        | None -> ());
+        match t.on_local with
+        | Some f -> f ~packet ~in_port
+        | None -> ()
+      end)
+
+(* The XSR fast path: one check-byte verify, one XOR, an in-place header
+   mutation — and the very same buffer goes back out (zero copies, zero
+   allocations per hop). XSR headers carry no tokens, so a router that
+   requires them rejects XSR traffic outright. *)
+let process_xsr t ~frame ~payload ~in_port ~head ~tail =
+  if t.config.require_tokens then begin
+    C.incr t.unauthorized;
+    flight_note t ~frame Flight.Denied;
+    flight_drop t ~frame ~in_port ~reason:"unauthorized"
+  end
+  else
+    match Viper.Xsr.step payload ~in_port with
+    | Viper.Xsr.Malformed _ ->
+      C.incr t.dropped_malformed;
+      flight_drop t ~frame ~in_port ~reason:"malformed"
+    | Viper.Xsr.Deliver -> deliver_local_xsr t ~frame ~payload ~in_port ~tail
+    | Viper.Xsr.Forward out_port -> (
+      match link_mtu t out_port with
+      | Some mtu when Bytes.length payload > mtu ->
+        (* constant-size headers cannot carry a truncation marker, so an
+           over-MTU XSR packet is a counted drop, not a graceful cut *)
+        C.incr t.truncated;
+        flight_drop t ~frame ~in_port ~reason:"truncated"
+      | Some _ | None ->
+        let mode, when_ =
+          act_time t ~in_port ~out_port ~head ~tail
+            ~header_size:Viper.Xsr.header_size
+        in
+        let handling =
+          match mode with
+          | `Cut ->
+            C.incr t.cut_throughs;
+            Flight.Cut_through
+          | `Store ->
+            C.incr t.stored_forwards;
+            Flight.Store_forward
+        in
+        (match frame.Netsim.Frame.flight with
+        | Some ctx ->
+          Flight.hop ctx ~node:t.node ~in_port ~out_port ~arrival:head
+            ~departure:when_ ~handling
+        | None -> ());
+        (match t.congestion with
+        | Some c -> Congestion.note_arrival c ~in_port ~out_port
+        | None -> ());
+        dispatch t ~priority:(Viper.Xsr.priority payload) ~dib:false
+          ~next_port:(Viper.Xsr.peek_next_port payload) ~frame ~in_port
+          ~out_port ~payload ~when_)
 
 let handle t _world ~in_port ~frame ~head ~tail =
   if not t.up then begin
@@ -572,8 +673,12 @@ let handle t _world ~in_port ~frame ~head ~tail =
       | Some c -> Congestion.handle_ctl c ~arrival_port:in_port ~congested_port ~rate_bps
       | None -> ())
     | Some _ | None ->
-      process t ~frame ~payload:frame.Netsim.Frame.payload ~in_port ~in_info:None
-        ~head ~tail ~depth:0
+      if Viper.Xsr.is_xsr frame.Netsim.Frame.payload then
+        process_xsr t ~frame ~payload:frame.Netsim.Frame.payload ~in_port ~head
+          ~tail
+      else
+        process t ~frame ~payload:frame.Netsim.Frame.payload ~in_port
+          ~in_info:None ~head ~tail ~depth:0
 
 let create ?(config = default_config) ?key world ~node () =
   let key =

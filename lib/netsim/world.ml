@@ -1,5 +1,96 @@
 module G = Topo.Graph
 
+(* The inbox queue. Keys (time, reserved engine seq) arrive almost
+   sorted: seqs are allocated monotonically, so pushes for one instant
+   are already in order, and the only out-of-order push is the
+   occasional short key — e.g. a near-zero-length transmission's
+   completion landing below an earlier-pushed future delivery. A sorted
+   array-deque makes the common push an O(1) append and every peek/pop
+   O(1), which is measurably cheaper than a binary heap at the few
+   dozen entries a node's inbox holds on the wire-speed path. *)
+module Ibq = struct
+  type 'a t = {
+    dummy : 'a;
+    mutable times : int array;
+    mutable seqs : int array;
+    mutable vals : 'a array;
+    mutable head : int;  (* index of the minimum entry *)
+    mutable len : int;
+  }
+
+  let create ~dummy =
+    {
+      dummy;
+      times = Array.make 16 0;
+      seqs = Array.make 16 0;
+      vals = Array.make 16 dummy;
+      head = 0;
+      len = 0;
+    }
+
+  let peek_key q =
+    if q.len = 0 then None else Some (q.times.(q.head), q.seqs.(q.head))
+
+  let pop q =
+    if q.len = 0 then None
+    else begin
+      let i = q.head in
+      let r = (q.times.(i), q.seqs.(i), q.vals.(i)) in
+      q.vals.(i) <- q.dummy;
+      q.head <- i + 1;
+      q.len <- q.len - 1;
+      if q.len = 0 then q.head <- 0;
+      Some r
+    end
+
+  (* the tail hit the end of the arrays: slide the live span back to the
+     front, or double if it is genuinely full *)
+  let make_room q =
+    let cap = Array.length q.times in
+    if q.len <= cap / 2 then begin
+      Array.blit q.times q.head q.times 0 q.len;
+      Array.blit q.seqs q.head q.seqs 0 q.len;
+      Array.blit q.vals q.head q.vals 0 q.len;
+      Array.fill q.vals q.len (cap - q.len) q.dummy;
+      q.head <- 0
+    end
+    else begin
+      let times = Array.make (cap * 2) 0 in
+      let seqs = Array.make (cap * 2) 0 in
+      let vals = Array.make (cap * 2) q.dummy in
+      Array.blit q.times q.head times 0 q.len;
+      Array.blit q.seqs q.head seqs 0 q.len;
+      Array.blit q.vals q.head vals 0 q.len;
+      q.times <- times;
+      q.seqs <- seqs;
+      q.vals <- vals;
+      q.head <- 0
+    end
+
+  let push q ~time ~seq v =
+    if q.head + q.len = Array.length q.times then make_room q;
+    let tail = q.head + q.len in
+    (* near-sorted input: scan back from the tail for the slot *)
+    let i = ref tail in
+    while
+      !i > q.head
+      && (q.times.(!i - 1) > time
+         || (q.times.(!i - 1) = time && q.seqs.(!i - 1) > seq))
+    do
+      decr i
+    done;
+    let p = !i in
+    if p < tail then begin
+      Array.blit q.times p q.times (p + 1) (tail - p);
+      Array.blit q.seqs p q.seqs (p + 1) (tail - p);
+      Array.blit q.vals p q.vals (p + 1) (tail - p)
+    end;
+    q.times.(p) <- time;
+    q.seqs.(p) <- seq;
+    q.vals.(p) <- v;
+    q.len <- q.len + 1
+end
+
 type send_result =
   | Started
   | Started_preempting of Frame.t
@@ -11,12 +102,52 @@ type send_result =
 type handler =
   t -> in_port:G.port -> frame:Frame.t -> head:Sim.Time.t -> tail:Sim.Time.t -> unit
 
+(* Work waiting in a node's batch queue: a link delivery, or any other
+   per-node event (a router's process step, a port's transmission
+   completion) routed through the same coalescing machinery via
+   [defer]. [p_seq] is a real engine sequence number reserved at
+   scheduling time, so replaying pending entries in (time, seq) order
+   reproduces exactly the execution order an individual heap event per
+   entry would have had. *)
+and pending = {
+  p_work : pending_work;
+  p_seq : int;
+  mutable p_cancelled : bool;
+}
+
+and pending_work =
+  | P_deliver of {
+      pl_link : G.link;
+      pl_from : G.node_id;
+      pl_frame : Frame.t;
+      pl_head : Sim.Time.t;
+      pl_tail : Sim.Time.t;
+    }
+  | P_thunk of (unit -> unit)
+
+and delivery_ref =
+  | D_event of Sim.Engine.handle  (* unbatched: one heap event per delivery *)
+  | D_batch of pending  (* batched: an entry in the receiver's inbox *)
+
 and transmission = {
   tx_frame : Frame.t;
   delivered_frame : Frame.t;  (* may be a corrupted copy of tx_frame *)
   finish : Sim.Time.t;
-  delivery : Sim.Engine.handle;
-  completion : Sim.Engine.handle;
+  delivery : delivery_ref;
+  completion : delivery_ref;
+}
+
+(* Per receiving node: all in-flight deliveries headed its way, keyed by
+   their reserved engine keys, plus the key of the cursor event (if any)
+   currently parked in the engine heap to drain them. *)
+and inbox = {
+  ib_node : G.node_id;
+  ib_queue : pending Ibq.t;  (* keyed (head time, reserved seq) *)
+  mutable ib_armed : (Sim.Time.t * int) option;
+  mutable ib_draining : bool;
+      (* while the cursor drains this inbox, new pushes must not arm
+         fresh cursors (they would fire stale): the drain re-arms once,
+         at the end, for whatever is left *)
 }
 
 and outport = {
@@ -77,6 +208,15 @@ and t = {
   taps : (G.node_id, head:Sim.Time.t -> unit) Hashtbl.t;
       (** departure taps: notified when a transmission whose delivery
           will arrive at the tapped node is scheduled (shard lookahead) *)
+  batching : bool;
+  inboxes : (G.node_id, inbox) Hashtbl.t;
+  pool : Wire.Pool.t option;
+      (** buffer arena for the forwarding fast path; [None] keeps plain
+          allocation (the same-simulation control) *)
+  mutable flush_hooks : (unit -> unit) list;
+      (** called after every delivery batch (batched mode) or after each
+          delivery event (unbatched) — the shard layer drains its egress
+          accumulators here so channel pushes amortize with batching *)
   mutable next_frame_id : int;
   mutable trace : Sim.Trace.t option;
   metrics : Telemetry.Registry.t;
@@ -87,7 +227,8 @@ and t = {
 
 module C = Telemetry.Registry.Counter
 
-let create ?(default_buffer_bytes = 256 * 1024) engine graph =
+let create ?(default_buffer_bytes = 256 * 1024) ?(batching = false)
+    ?(pooling = false) engine graph =
   let metrics = Telemetry.Registry.create () in
   let cnt ?help name = Telemetry.Registry.counter metrics ?help ("netsim_" ^ name) in
   {
@@ -102,6 +243,10 @@ let create ?(default_buffer_bytes = 256 * 1024) engine graph =
     corruptor = None;
     handler_errors = Hashtbl.create 8;
     taps = Hashtbl.create 4;
+    batching;
+    inboxes = Hashtbl.create 64;
+    pool = (if pooling then Some (Wire.Pool.create ()) else None);
+    flush_hooks = [];
     next_frame_id = 0;
     trace = None;
     metrics;
@@ -129,6 +274,14 @@ let set_trace t trace = t.trace <- Some trace
 let metrics t = t.metrics
 let events t = t.events
 let flight t = t.flight
+let batching t = t.batching
+let pool t = t.pool
+
+let release_payload t b =
+  match t.pool with Some p -> Wire.Pool.release p b | None -> ()
+
+let add_flush_hook t f = t.flush_hooks <- t.flush_hooks @ [ f ]
+let flush t = match t.flush_hooks with [] -> () | hooks -> List.iter (fun f -> f ()) hooks
 
 let trace t fmt =
   match t.trace with
@@ -239,6 +392,113 @@ let deliver t ~link ~from_node ~frame ~head ~tail =
   let peer_node, peer_port = G.peer link from_node in
   deliver_direct t ~node:peer_node ~in_port:peer_port ~frame ~head ~tail
 
+let inbox t node =
+  match Hashtbl.find_opt t.inboxes node with
+  | Some ib -> ib
+  | None ->
+    let ib =
+      let dummy =
+        { p_work = P_thunk ignore; p_seq = -1; p_cancelled = true }
+      in
+      { ib_node = node; ib_queue = Ibq.create ~dummy; ib_armed = None;
+        ib_draining = false }
+    in
+    Hashtbl.replace t.inboxes node ib;
+    ib
+
+(* Batched delivery. Every pending entry reserved a real engine sequence
+   number at scheduling time, so the set of pending entries plus the
+   engine heap together hold exactly the keys an unbatched run would
+   have in its heap alone. One cursor event per inbox parks in the heap
+   at the front entry's exact key; when it fires, it delivers its own
+   entry and then keeps draining same-instant entries for as long as
+   they sort strictly before the engine's next queued event — which is
+   precisely the set of deliveries the unbatched engine would have
+   popped consecutively. The total execution order is therefore
+   identical; only the per-delivery heap traffic and closures are
+   amortized away. *)
+let rec drain t ib ~key:(my_t, my_s) =
+  (match ib.ib_armed with
+  | Some (at, as_) when at = my_t && as_ = my_s ->
+    ib.ib_armed <- None;
+    ib.ib_draining <- true;
+    let delivered = ref false in
+    let rec loop () =
+      match Ibq.peek_key ib.ib_queue with
+      | None -> ()
+      | Some (pt, ps) ->
+        let is_self = pt = my_t && ps = my_s in
+        let still_next =
+          pt = now t
+          &&
+          match Sim.Engine.peek_next_key t.engine with
+          | None -> true
+          | Some (ht, hs) -> pt < ht || (pt = ht && ps < hs)
+        in
+        if is_self || still_next then begin
+          (match Ibq.pop ib.ib_queue with
+          | Some (_, _, p) ->
+            if not p.p_cancelled then begin
+              match p.p_work with
+              | P_deliver d ->
+                delivered := true;
+                deliver t ~link:d.pl_link ~from_node:d.pl_from
+                  ~frame:d.pl_frame ~head:d.pl_head ~tail:d.pl_tail
+              | P_thunk f -> f ()
+            end
+          | None -> ());
+          loop ()
+        end
+    in
+    loop ();
+    ib.ib_draining <- false;
+    if !delivered then flush t
+  | Some _ | None -> ());
+  (* stale cursors (superseded by an earlier-keyed one) fall through to
+     here and simply re-arm whatever is still pending *)
+  arm t ib
+
+and arm t ib =
+  if ib.ib_draining then ()
+  else
+  match Ibq.peek_key ib.ib_queue with
+  | None -> ()
+  | Some (time, seq) ->
+    let need =
+      match ib.ib_armed with
+      | None -> true
+      | Some (at, as_) -> time < at || (time = at && seq < as_)
+    in
+    if need then begin
+      ib.ib_armed <- Some (time, seq);
+      ignore
+        (Sim.Engine.schedule_keyed t.engine ~time ~seq (fun () ->
+             drain t ib ~key:(time, seq)))
+    end
+
+let cancel_delivery t = function
+  | D_event h -> Sim.Engine.cancel t.engine h
+  | D_batch p -> p.p_cancelled <- true
+
+let push_pending t ~node ~time work =
+  let seq = Sim.Engine.alloc_seq t.engine in
+  let p = { p_work = work; p_seq = seq; p_cancelled = false } in
+  let ib = inbox t node in
+  Ibq.push ib.ib_queue ~time ~seq p;
+  arm t ib;
+  p
+
+(* Schedule [f] at [time] as an event belonging to [node]. Unbatched,
+   this is an ordinary engine event. Batched, the thunk rides [node]'s
+   inbox with a reserved engine key, so same-instant node events (one
+   process step per frame of a delivery batch, parallel-port completions)
+   drain under one cursor instead of one heap pop each — with execution
+   order provably identical to the unbatched run. *)
+let defer t ~node ~time f =
+  if time < now t then invalid_arg "World.defer: time in the past";
+  if t.batching then ignore (push_pending t ~node ~time (P_thunk f))
+  else ignore (Sim.Engine.schedule_at t.engine ~time f)
+
 (* Begin transmitting [frame] on [op], which must be idle, over [link]. *)
 let rec start_transmission t op link frame =
   let start = now t in
@@ -260,12 +520,42 @@ let rec start_transmission t op link frame =
      | Some f -> f ~head
      | None -> ()
    end);
-  let delivery =
-    Sim.Engine.schedule_at t.engine ~time:head (fun () ->
-        deliver t ~link ~from_node:op.op_node ~frame:delivered ~head ~tail)
-  in
-  let completion =
-    Sim.Engine.schedule_at t.engine ~time:finish (fun () -> complete t op)
+  let delivery, completion =
+    if t.batching then begin
+      let peer_node, _ = G.peer link op.op_node in
+      let d =
+        D_batch
+          (push_pending t ~node:peer_node ~time:head
+             (P_deliver
+                {
+                  pl_link = link;
+                  pl_from = op.op_node;
+                  pl_frame = delivered;
+                  pl_head = head;
+                  pl_tail = tail;
+                }))
+      in
+      (* The completion also parks in the peer's inbox: an inbox is only
+         a holding pen keyed by reserved engine keys, so any fixed choice
+         preserves execution order — and keying by the frame's
+         destination lets a fan-in burst (many ports finishing into one
+         node at the same instant) coalesce its end-of-serialization
+         bookkeeping under the same cursor as its deliveries. *)
+      let c =
+        D_batch
+          (push_pending t ~node:peer_node ~time:finish
+             (P_thunk (fun () -> complete t op)))
+      in
+      (d, c)
+    end
+    else
+      ( D_event
+          (Sim.Engine.schedule_at t.engine ~time:head (fun () ->
+               deliver t ~link ~from_node:op.op_node ~frame:delivered ~head ~tail;
+               flush t)),
+        D_event
+          (Sim.Engine.schedule_at t.engine ~time:finish (fun () -> complete t op))
+      )
   in
   op.current <- Some { tx_frame = frame; delivered_frame = delivered; finish; delivery; completion };
   op.sent_frames <- op.sent_frames + 1;
@@ -332,8 +622,8 @@ let send t ~node ~port frame =
            acceptable over-count of a partial transmission. *)
         (* The victim's head may already be arriving downstream: mark the
            frame as a runt so receivers that act at tail time discard it. *)
-        Sim.Engine.cancel t.engine tx.delivery;
-        Sim.Engine.cancel t.engine tx.completion;
+        cancel_delivery t tx.delivery;
+        cancel_delivery t tx.completion;
         tx.tx_frame.Frame.aborted <- true;
         tx.delivered_frame.Frame.aborted <- true;
         op.preempted <- op.preempted + 1;
@@ -414,8 +704,8 @@ let purge_node t ~node =
         in
         (match op.current with
         | Some tx ->
-          Sim.Engine.cancel t.engine tx.delivery;
-          Sim.Engine.cancel t.engine tx.completion;
+          cancel_delivery t tx.delivery;
+          cancel_delivery t tx.completion;
           tx.tx_frame.Frame.aborted <- true;
           tx.delivered_frame.Frame.aborted <- true;
           mark_purged tx.tx_frame;

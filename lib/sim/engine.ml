@@ -25,6 +25,23 @@ let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) f
 
+(* Reserve the sequence number an event scheduled right now would get,
+   without pushing anything into the heap. Batched delivery queues use
+   this: each queued delivery captures the exact key it would have had
+   as a heap event, so replaying queue entries in key order is
+   indistinguishable from having scheduled them individually. *)
+let alloc_seq t =
+  let s = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  s
+
+let schedule_keyed t ~time ~seq f =
+  if time < t.clock then invalid_arg "Engine.schedule_keyed: time in the past";
+  if seq < 0 then invalid_arg "Engine.schedule_keyed: negative seq";
+  let e = { action = f; cancelled = false } in
+  Heap.push t.queue ~time ~seq e;
+  e
+
 (* Locally scheduled events take sequence numbers 0, 1, 2, ...; events
    merged in from another shard carry keys at or above this base, so at
    equal time every local event of a tick sorts before foreign arrivals
@@ -66,3 +83,4 @@ let run ?until ?(max_events = max_int) t =
 
 let pending t = Heap.size t.queue
 let next_time t = Heap.peek_time t.queue
+let peek_next_key t = Heap.peek_key t.queue

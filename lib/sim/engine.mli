@@ -21,6 +21,25 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
 val schedule_at : t -> time:Time.t -> (unit -> unit) -> handle
 (** Absolute-time variant. The time must not be in the simulated past. *)
 
+val alloc_seq : t -> int
+(** Reserve and return the sequence number an event scheduled right now
+    would receive, advancing the counter without pushing anything.
+    Batched delivery queues capture one key per queued delivery this
+    way, so draining the queue in key order is observably identical to
+    having scheduled each delivery as its own event. *)
+
+val schedule_keyed : t -> time:Time.t -> seq:int -> (unit -> unit) -> handle
+(** Schedule with an explicit (previously reserved) sequence key — the
+    re-arming half of {!alloc_seq}: a batching cursor parks itself in
+    the heap at exactly the key of the next queued delivery. The time
+    must not be in the past; the seq must be non-negative. *)
+
+val peek_next_key : t -> (Time.t * int) option
+(** [(time, seq)] of the earliest queued event (cancelled ones
+    included), or [None] when the queue is empty. A batching cursor
+    compares this against its own queue's front to decide whether the
+    next delivery is still globally next. *)
+
 val cancel : t -> handle -> unit
 (** Cancelling an already-run or already-cancelled event is a no-op. *)
 

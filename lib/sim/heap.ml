@@ -73,3 +73,10 @@ let pop h =
 let peek_time h =
   if h.len = 0 then None
   else match h.store.(0) with Entry e -> Some e.time | Nil -> assert false
+
+let peek_key h =
+  if h.len = 0 then None
+  else
+    match h.store.(0) with
+    | Entry e -> Some (e.time, e.seq)
+    | Nil -> assert false

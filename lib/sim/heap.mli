@@ -18,3 +18,6 @@ val pop : 'a t -> (int * int * 'a) option
 
 val peek_time : 'a t -> int option
 (** Time of the smallest element without removing it. *)
+
+val peek_key : 'a t -> (int * int) option
+(** [(time, seq)] of the smallest element without removing it. *)

@@ -131,7 +131,7 @@ let parse_route_segments bytes =
    [route] — pre-encoded, VNT-normalized segment bytes — in their place,
    keeping data and trailer byte-identical. This is the router's failover
    step: the branch replaces the rest of the sold route. *)
-let substitute_route bytes ~route =
+let skip_route_chain bytes =
   let r = Wire.Buf.reader_of_bytes bytes in
   let rec skip n =
     if n > max_route_segments then invalid_arg "Packet: route too long";
@@ -139,13 +139,23 @@ let substitute_route bytes ~route =
     if seg.Segment.flags.Segment.vnt then skip (n + 1)
   in
   skip 1;
-  let pos = Wire.Buf.position r in
+  Wire.Buf.position r
+
+let substitute_route bytes ~route =
+  let pos = skip_route_chain bytes in
   let rest_len = Bytes.length bytes - pos in
   let rlen = Bytes.length route in
   let out = Bytes.create (rlen + rest_len) in
   Bytes.blit route 0 out 0 rlen;
   Bytes.blit bytes pos out rlen rest_len;
   out
+
+(* The failover fast path fused: byte-identical to
+   [Trailer.append_branch_marker (substitute_route bytes ~route)] but
+   with one allocation instead of two full copies (PR 7 composed them). *)
+let substitute_route_branch ?pool bytes ~route =
+  let pos = skip_route_chain bytes in
+  Trailer.append_branch_marker_sub ?pool bytes ~pos ~route
 
 let truncate_to bytes ~max =
   if max < 0 then invalid_arg "Packet.truncate_to";

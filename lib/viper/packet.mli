@@ -91,6 +91,13 @@ val substitute_route : bytes -> route:bytes -> bytes
     failover step when the addressed link is down and the leading segment
     carries a branch. Raises on malformed input. *)
 
+val substitute_route_branch : ?pool:Wire.Pool.t -> bytes -> route:bytes -> bytes
+(** [substitute_route_branch packet ~route] is byte-identical to
+    [Trailer.append_branch_marker (substitute_route packet ~route)] in
+    one sized allocation — the complete fused failover step: splice the
+    branch over the remaining route and record the switch in the
+    trailer. With [?pool] the output buffer comes from the arena. *)
+
 val truncate_to : bytes -> max:int -> bytes
 (** Model of cut-through truncation at an MTU boundary: keep the first
     [max] bytes (discarding any partial trailer) and append a fresh

@@ -15,6 +15,13 @@ let cksum_seed = 0x5A
 
 let cksum b = Bytes.fold_left (fun acc c -> acc lxor Char.code c) cksum_seed b
 
+let cksum_sub b ~off ~len =
+  let acc = ref cksum_seed in
+  for i = off to off + len - 1 do
+    acc := !acc lxor Char.code (Bytes.unsafe_get b i)
+  done;
+  !acc
+
 let check_of_total total = cksum_seed lxor (total lsr 8) lxor (total land 0xFF)
 
 let empty =
@@ -100,11 +107,15 @@ let append_hop packet seg =
    byte-identical to [append_hop (Bytes.sub packet pos (n - pos)) seg]
    but builds the output in ONE sized allocation with two blits, instead
    of materializing the stripped suffix first (the intermediate copy cost
-   every router paid per hop). Error cases and their order mirror the
-   unfused composition exactly. *)
-let append_hop_sub packet ~pos seg =
-  let seg_bytes = Segment.encode seg in
-  let len = Bytes.length seg_bytes in
+   every router paid per hop). The segment is serialized straight into
+   the output (no temporary encode), and with [?pool] the output buffer
+   itself comes from an arena — zero fresh allocation per hop in steady
+   state. Error cases and their order mirror the unfused composition
+   (oversized segments raise [Invalid_argument] rather than a writer
+   overflow). Every byte of the output is overwritten, so a dirty pooled
+   buffer is safe. *)
+let append_hop_sub ?pool packet ~pos seg =
+  let len = Segment.encoded_size seg in
   if len > max_entry then invalid_arg "Trailer.append_hop: segment too large";
   let n = Bytes.length packet in
   if pos < 0 || pos > n then invalid_arg "Trailer: malformed (short)";
@@ -119,10 +130,15 @@ let append_hop_sub packet ~pos seg =
   let added = len + 3 in
   let new_total = old_total + added in
   if new_total > 0xFFFF then invalid_arg "Trailer: overflow";
-  let out = Bytes.create (sub_len + added) in
+  let out =
+    match pool with
+    | Some p -> Wire.Pool.alloc p (sub_len + added)
+    | None -> Bytes.create (sub_len + added)
+  in
   Bytes.blit packet pos out 0 body;
-  Bytes.blit seg_bytes 0 out body len;
-  Bytes.set out (body + len) (Char.chr (cksum seg_bytes));
+  let w = Wire.Buf.writer_onto out ~off:body ~len in
+  Segment.write w seg;
+  Bytes.set out (body + len) (Char.chr (cksum_sub out ~off:body ~len));
   Bytes.set_uint16_be out (body + len + 1) len;
   Bytes.set out (body + added) (Char.chr (check_of_total new_total));
   Bytes.set_uint16_be out (body + added + 1) new_total;
@@ -137,3 +153,34 @@ let append_branch_marker packet =
   let w = Wire.Buf.create_writer 2 in
   Wire.Buf.put_u16 w branch_marker;
   with_appended packet (Wire.Buf.contents w)
+
+(* The failover hot path fused: byte-identical to
+   [append_branch_marker (Bytes.cat route (Bytes.sub packet pos (n - pos)))]
+   but built in one sized allocation with two blits — the route splice
+   and the marker append each cost a full copy before. Checks mirror
+   [append_branch_marker]'s [total_of] on the spliced result (the total
+   lives in [packet]'s last 3 bytes either way). Every output byte is
+   overwritten, so a dirty pooled buffer is safe. *)
+let append_branch_marker_sub ?pool packet ~pos ~route =
+  let n = Bytes.length packet in
+  if pos < 0 || pos > n then invalid_arg "Trailer: malformed (short)";
+  let rest_len = n - pos in
+  let rlen = Bytes.length route in
+  if rest_len < 2 then invalid_arg "Trailer: malformed (short)";
+  let old_total = Bytes.get_uint16_be packet (n - 2) in
+  if rest_len < 3 || Char.code (Bytes.get packet (n - 3)) <> check_of_total old_total
+  then invalid_arg "Trailer: total checksum";
+  let new_total = old_total + 2 in
+  if new_total > 0xFFFF then invalid_arg "Trailer: overflow";
+  let body = rlen + rest_len - 3 in
+  let out =
+    match pool with
+    | Some p -> Wire.Pool.alloc p (body + 5)
+    | None -> Bytes.create (body + 5)
+  in
+  Bytes.blit route 0 out 0 rlen;
+  Bytes.blit packet pos out rlen (rest_len - 3);
+  Bytes.set_uint16_be out body branch_marker;
+  Bytes.set out (body + 2) (Char.chr (check_of_total new_total));
+  Bytes.set_uint16_be out (body + 3) new_total;
+  out

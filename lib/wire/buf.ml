@@ -12,6 +12,16 @@ let create_writer ?(max_size = 1 lsl 20) n =
   { store = Bytes.create (max n 16); len = 0; max_size }
 
 let writer_length w = w.len
+let writer_capacity w = Bytes.length w.store
+
+(* A fixed-window writer over an existing buffer: [max_size] equals the
+   window, so [ensure] never grows (and never copies) — every [put_*]
+   lands directly in [b] starting at [off]. Arena-backed codecs use this
+   to serialize straight into a pooled buffer. *)
+let writer_onto b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Buf.writer_onto";
+  { store = b; len = off; max_size = off + len }
 
 let ensure w extra =
   let needed = w.len + extra in
@@ -130,9 +140,12 @@ let get_u64 r =
 let get_bytes r n =
   if n < 0 then invalid_arg "Buf.get_bytes";
   need r n;
-  let b = Bytes.sub r.data (r.base + r.pos) n in
-  r.pos <- r.pos + n;
-  b
+  if n = 0 then Bytes.empty
+  else begin
+    let b = Bytes.sub r.data (r.base + r.pos) n in
+    r.pos <- r.pos + n;
+    b
+  end
 
 let get_string r n = Bytes.unsafe_to_string (get_bytes r n)
 

@@ -23,6 +23,16 @@ val create_writer : ?max_size:int -> int -> writer
 val writer_length : writer -> int
 (** Number of bytes written so far. *)
 
+val writer_capacity : writer -> int
+(** Current backing-store size (grows by doubling up to [max_size]). *)
+
+val writer_onto : bytes -> off:int -> len:int -> writer
+(** [writer_onto b ~off ~len] is a fixed-window writer whose [put_*]
+    calls land directly in [b.[off .. off+len)] — no growth, no copy;
+    exceeding the window raises {!Overflow}. [writer_length] reports the
+    absolute end position ([off] + bytes written). Arena-backed codecs
+    use this to serialize straight into a pooled buffer. *)
+
 val put_u8 : writer -> int -> unit
 val put_u16 : writer -> int -> unit
 val put_u32 : writer -> int32 -> unit

@@ -195,6 +195,109 @@ let undelivered_counted () =
   Sim.Engine.run engine;
   check_int "undelivered" 1 (W.undelivered world)
 
+(* --- batched delivery: execution-order equivalence --- *)
+
+(* A fan-in star: [k] leaves into one hub, synchronized sends, so the
+   hub sees same-instant arrival batches. The batched drain must replay
+   the exact unbatched execution — same deliveries, same order, same
+   (head, tail, now) stamps, same port stats — because batching only
+   regroups same-key events, never reorders them. *)
+let star_scenario ~batching ~pooling =
+  let k = 4 in
+  let g = G.create () in
+  let hub = G.add_node g G.Host in
+  let leaves = Array.init k (fun _ -> G.add_node g G.Host) in
+  Array.iter (fun l -> ignore (G.connect g l hub props)) leaves;
+  let engine = Sim.Engine.create () in
+  let world = W.create ~batching ~pooling engine g in
+  let log = ref [] in
+  W.set_handler world hub (fun _ ~in_port ~frame ~head ~tail ->
+      log :=
+        ( in_port,
+          Bytes.get frame.Netsim.Frame.payload 0,
+          frame.Netsim.Frame.aborted,
+          head,
+          tail,
+          Sim.Engine.now engine )
+        :: !log);
+  (* wave 1: all leaves at t=0, equal sizes -> one 4-wide batch at hub *)
+  Array.iteri
+    (fun i l ->
+      ignore
+        (W.send world ~node:l ~port:1
+           (W.fresh_frame world (Bytes.make 100 (Char.chr (Char.code 'a' + i))))))
+    leaves;
+  (* wave 2: a long victim then a preemptive frame on the same leaf port *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 50) (fun () ->
+         ignore
+           (W.send world ~node:leaves.(0) ~port:1
+              (W.fresh_frame world (Bytes.make 1000 'v')))));
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 150) (fun () ->
+         ignore
+           (W.send world ~node:leaves.(0) ~port:1
+              (W.fresh_frame world ~priority:7 (Bytes.make 100 'u')))));
+  (* wave 3: queue two frames on leaf 1 then purge it mid-stream *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 60) (fun () ->
+         ignore
+           (W.send world ~node:leaves.(1) ~port:1
+              (W.fresh_frame world (Bytes.make 1000 'p')));
+         ignore
+           (W.send world ~node:leaves.(1) ~port:1
+              (W.fresh_frame world (Bytes.make 100 'q')))));
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.us 120) (fun () ->
+         ignore (W.purge_node world ~node:leaves.(1))));
+  (* wave 4: another synchronized burst after the dust settles *)
+  ignore
+    (Sim.Engine.schedule engine ~delay:(Sim.Time.ms 2) (fun () ->
+         Array.iteri
+           (fun i l ->
+             ignore
+               (W.send world ~node:l ~port:1
+                  (W.fresh_frame world
+                     (Bytes.make 100 (Char.chr (Char.code 'A' + i))))))
+           leaves));
+  Sim.Engine.run engine;
+  let stats =
+    Array.to_list
+      (Array.map
+         (fun l ->
+           let s = W.port_stats world ~node:l ~port:1 in
+           (s.W.sent_frames, s.W.preempted, s.W.purged))
+         leaves)
+  in
+  (List.rev !log, stats, Sim.Engine.now engine)
+
+let batched_equals_unbatched () =
+  let reference = star_scenario ~batching:false ~pooling:false in
+  let ref_log, _, _ = reference in
+  check_bool "scenario delivers" true (List.length ref_log >= 8);
+  List.iter
+    (fun (batching, pooling, label) ->
+      let log, stats, end_t = star_scenario ~batching ~pooling in
+      let rlog, rstats, rend = reference in
+      Alcotest.(check int) (label ^ " count") (List.length rlog) (List.length log);
+      List.iteri
+        (fun i ((p, c, ab, h, tl, n), (p', c', ab', h', tl', n')) ->
+          let m = Printf.sprintf "%s delivery %d" label i in
+          check_int (m ^ " port") p p';
+          Alcotest.(check char) (m ^ " byte") c c';
+          check_bool (m ^ " aborted") ab ab';
+          check_int (m ^ " head") h h';
+          check_int (m ^ " tail") tl tl';
+          check_int (m ^ " now") n n')
+        (List.combine rlog log);
+      Alcotest.(check (list (triple int int int))) (label ^ " stats") rstats stats;
+      check_int (label ^ " end time") rend end_t)
+    [
+      (true, false, "batched");
+      (false, true, "pooled");
+      (true, true, "batched+pooled");
+    ]
+
 let trace_captures_drops () =
   let _, engine, world, a, _, _ = pair () in
   let tr = Sim.Trace.create () in
@@ -240,6 +343,11 @@ let () =
         ] );
       ( "corruption",
         [ Alcotest.test_case "ber flips bytes" `Quick corruption_flips_bytes ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batched = unbatched (preempt, purge)" `Quick
+            batched_equals_unbatched;
+        ] );
       ( "trace",
         [ Alcotest.test_case "captures drops" `Quick trace_captures_drops ] );
     ]

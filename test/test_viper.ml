@@ -452,6 +452,57 @@ let qcheck_packet_roundtrip =
       let p = Pkt.decode (Pkt.build ~route ~data:(Bytes.of_string data)) in
       Bytes.to_string p.Pkt.data = data && List.length p.Pkt.route = hops)
 
+(* the fused failover (one sized allocation) must emit exactly the bytes
+   of the two-copy composition it replaces — pooled or not *)
+let qcheck_fused_branch_identical =
+  QCheck.Test.make ~name:"substitute_route_branch = marker . substitute" ~count:200
+    QCheck.(
+      triple (int_range 2 6) (int_range 1 6) (string_of_size Gen.(0 -- 256)))
+    (fun (hops, alt_hops, data) ->
+      (* clamp: qcheck shrinking may step outside the generator's range *)
+      let hops = max 2 hops and alt_hops = max 1 alt_hops in
+      let route =
+        List.init hops (fun i ->
+            Seg.make ~port:(if i = hops - 1 then 0 else 1 + i) ())
+      in
+      let p = ref (Pkt.build ~route ~data:(Bytes.of_string data)) in
+      (* take one real hop so the trailer is non-trivial *)
+      let _, fwd = Pkt.forward !p ~return_seg:(Seg.make ~port:77 ()) in
+      p := fwd;
+      let alt =
+        Pkt.encode_route_segments
+          (List.init alt_hops (fun i ->
+               Seg.make ~port:(if i = alt_hops - 1 then 0 else 100 + i) ()))
+      in
+      let composed =
+        Viper.Trailer.append_branch_marker (Pkt.substitute_route !p ~route:alt)
+      in
+      let fused = Pkt.substitute_route_branch !p ~route:alt in
+      let pool = Wire.Pool.create () in
+      let pooled = Pkt.substitute_route_branch ~pool !p ~route:alt in
+      Bytes.equal composed fused && Bytes.equal composed pooled)
+
+(* pooled per-hop append: same bytes as the unpooled path, even when the
+   arena hands back a dirty recycled buffer *)
+let qcheck_pooled_hop_identical =
+  QCheck.Test.make ~name:"pooled append_hop_sub byte-identical" ~count:200
+    QCheck.(pair (int_range 2 8) (string_of_size Gen.(0 -- 256)))
+    (fun (hops, data) ->
+      let route =
+        List.init hops (fun i ->
+            Seg.make ~port:(if i = hops - 1 then 0 else 1 + i) ())
+      in
+      let p = Pkt.build ~route ~data:(Bytes.of_string data) in
+      let return_seg = Seg.make ~token:(Bytes.of_string "tk") ~port:9 () in
+      let _, pos = Result.get_ok (Pkt.parse_leading_pos p) in
+      let plain = Viper.Trailer.append_hop_sub p ~pos return_seg in
+      let pool = Wire.Pool.create () in
+      (* dirty the bucket the output will come from *)
+      Wire.Pool.release pool (Bytes.make (Bytes.length plain) '\xFF');
+      let pooled = Viper.Trailer.append_hop_sub ~pool p ~pos return_seg in
+      let s = Wire.Pool.stats pool in
+      Bytes.equal plain pooled && s.Wire.Pool.hits = 1)
+
 let qcheck_reversal_is_reverse =
   QCheck.Test.make ~name:"trailer reversal yields reversed in-ports" ~count:100
     QCheck.(list_of_size Gen.(1 -- 10) (int_range 1 239))
@@ -537,6 +588,8 @@ let () =
             qcheck_segment_roundtrip;
             qcheck_size_matches;
             qcheck_packet_roundtrip;
+            qcheck_fused_branch_identical;
+            qcheck_pooled_hop_identical;
             qcheck_reversal_is_reverse;
           ] );
     ]

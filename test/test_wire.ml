@@ -96,6 +96,80 @@ let take_rest_consumes () =
   check_string "rest" "cdef" (Bytes.to_string (Wire.Buf.take_rest r));
   check_int "nothing left" 0 (Wire.Buf.remaining r)
 
+let reset_keeps_capacity () =
+  let w = Wire.Buf.create_writer 8 in
+  for i = 0 to 199 do
+    Wire.Buf.put_u8 w (i land 0xFF)
+  done;
+  let cap = Wire.Buf.writer_capacity w in
+  check_bool "grew past start" true (cap >= 200);
+  Wire.Buf.reset w;
+  check_int "reset empties" 0 (Wire.Buf.writer_length w);
+  check_int "reset keeps storage" cap (Wire.Buf.writer_capacity w);
+  for i = 0 to 199 do
+    Wire.Buf.put_u8 w (i land 0xFF)
+  done;
+  check_int "refill without growth" cap (Wire.Buf.writer_capacity w)
+
+let growth_doubles () =
+  (* amortized-O(1) appends: capacity at least doubles on each growth, so
+     filling N bytes from a 1-byte writer reallocs O(log N) times *)
+  let w = Wire.Buf.create_writer 1 in
+  let reallocs = ref 0 in
+  let last = ref (Wire.Buf.writer_capacity w) in
+  for _ = 1 to 4096 do
+    Wire.Buf.put_u8 w 0;
+    let c = Wire.Buf.writer_capacity w in
+    if c <> !last then begin
+      check_bool "at least doubles" true (c >= 2 * !last);
+      last := c;
+      incr reallocs
+    end
+  done;
+  check_bool "O(log n) reallocs" true (!reallocs <= 13)
+
+let writer_onto_window () =
+  let b = Bytes.of_string "ABCDEFGHIJ" in
+  let w = Wire.Buf.writer_onto b ~off:2 ~len:5 in
+  Wire.Buf.put_string w "xyz";
+  check_string "writes in place" "ABxyzFGHIJ" (Bytes.to_string b);
+  check_int "length is absolute end" 5 (Wire.Buf.writer_length w);
+  Wire.Buf.put_string w "pq";
+  Alcotest.check_raises "window is fixed" Wire.Buf.Overflow (fun () ->
+      Wire.Buf.put_u8 w 0);
+  check_string "full window" "ABxyzpqHIJ" (Bytes.to_string b);
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Buf.writer_onto")
+    (fun () -> ignore (Wire.Buf.writer_onto b ~off:8 ~len:5))
+
+let pool_reuse () =
+  let p = Wire.Pool.create () in
+  let b1 = Wire.Pool.alloc p 64 in
+  check_int "sized" 64 (Bytes.length b1);
+  Wire.Pool.release p b1;
+  let b2 = Wire.Pool.alloc p 64 in
+  check_bool "same buffer back" true (b1 == b2);
+  let s = Wire.Pool.stats p in
+  check_int "one miss" 1 s.Wire.Pool.misses;
+  check_int "one hit" 1 s.Wire.Pool.hits;
+  check_int "one release" 1 s.Wire.Pool.releases;
+  (* different size = different bucket *)
+  let b3 = Wire.Pool.alloc p 65 in
+  check_bool "no cross-size reuse" true (b3 != b2)
+
+let pool_cap () =
+  let p = Wire.Pool.create ~max_held:2 () in
+  let bs = List.init 4 (fun _ -> Wire.Pool.alloc p 16) in
+  List.iter (Wire.Pool.release p) bs;
+  let s = Wire.Pool.stats p in
+  check_int "held capped, rest discarded" 2 s.Wire.Pool.discarded;
+  (* only the two held buffers come back as hits *)
+  let _ = Wire.Pool.alloc p 16 and _ = Wire.Pool.alloc p 16 in
+  let _ = Wire.Pool.alloc p 16 in
+  let s = Wire.Pool.stats p in
+  check_int "two hits then miss" 2 s.Wire.Pool.hits;
+  check_int "misses" 5 s.Wire.Pool.misses
+
 let hex_roundtrip () =
   check_string "encode" "01ab" (Wire.Hex.of_string "\x01\xab");
   check_string "decode"
@@ -157,6 +231,14 @@ let () =
           Alcotest.test_case "put_sub slices" `Quick put_sub_slices;
           Alcotest.test_case "put_zeros pads" `Quick put_zeros_pads;
           Alcotest.test_case "take_rest consumes" `Quick take_rest_consumes;
+          Alcotest.test_case "reset keeps capacity" `Quick reset_keeps_capacity;
+          Alcotest.test_case "growth doubles" `Quick growth_doubles;
+          Alcotest.test_case "writer_onto fixed window" `Quick writer_onto_window;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "alloc/release reuse" `Quick pool_reuse;
+          Alcotest.test_case "per-size cap" `Quick pool_cap;
         ] );
       ( "hex",
         [
